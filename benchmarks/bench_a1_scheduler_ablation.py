@@ -1,0 +1,71 @@
+"""Ablation A1 — how much work the probabilistic assumption does.
+
+The paper's convergence proofs lean on one assumption: every possible
+view of a phase has probability ≥ ε (realised here by the uniform
+random scheduler).  This ablation swaps the scheduler while keeping the
+Figure 1 protocol fixed:
+
+* ``uniform``   — the assumption holds (the paper's setting);
+* ``fifo``      — deterministic round-robin: no randomness at all, yet
+  convergence in practice (the assumption is sufficient, not necessary);
+* ``timed(exp)`` — virtual-time delivery with exponential per-message
+  delays (a refinement that still satisfies the assumption);
+* ``balancing`` — an adversarial network that feeds every process the
+  value it has seen less of, the slowest-converging direction.
+
+Shape asserted: agreement holds under all three (safety never depends
+on the scheduler); the balancing adversary costs extra phases but
+cannot prevent termination from a lopsided-enough state.
+"""
+
+from repro.harness.builders import build_failstop_processes
+from repro.harness.runner import ExperimentRunner
+from repro.harness.stats import summarize
+from repro.harness.tables import render_table
+from repro.harness.workloads import balanced_inputs
+from repro.net.schedulers import (
+    BalancingDelayScheduler,
+    ExponentialDelayScheduler,
+    FifoScheduler,
+    RandomScheduler,
+)
+
+SCHEDULERS = {
+    "uniform": lambda seed: RandomScheduler(),
+    "fifo": lambda seed: FifoScheduler(),
+    "timed(exp)": lambda seed: ExponentialDelayScheduler(),
+    "balancing": lambda seed: BalancingDelayScheduler(),
+}
+
+
+def run_ablation(n: int = 9, k: int = 4, runs: int = 8):
+    rows = []
+    for name, factory in SCHEDULERS.items():
+        runner = ExperimentRunner(
+            lambda seed: build_failstop_processes(n, k, balanced_inputs(n)),
+            scheduler_factory=factory,
+            max_steps=2_000_000,
+        )
+        results = runner.run_many(range(runs))
+        stats = summarize([max(r.phases_to_decide()) for r in results.results])
+        rows.append(
+            [name, f"{results.agreement_rate():.0%}", stats.mean, stats.maximum]
+        )
+    return rows
+
+
+def test_a1_scheduler_ablation(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["scheduler", "agree", "phases(mean)", "phases(max)"],
+            rows,
+            title="[A1] Figure 1 (n=9, k=4) under three schedulers",
+        )
+    )
+    by_name = {row[0]: row for row in rows}
+    for row in rows:
+        assert row[1] == "100%"
+    # The adversarial network may slow things down, never speed safety.
+    assert by_name["balancing"][2] >= by_name["uniform"][2] - 1.0

@@ -1,0 +1,57 @@
+"""Ablation A4 — the price of the echo layer: message complexity vs n.
+
+Figure 1 broadcasts one message per process per phase (Θ(n²) sends per
+phase system-wide); Figure 2 additionally echoes every initial to
+everyone (Θ(n³) per phase).  This bench measures total sends per run
+for both protocols across n from unanimous inputs (≈ constant phase
+count, isolating the per-phase cost) and asserts the scaling gap grows
+with n — the quantified cost of Byzantine tolerance.
+"""
+
+from repro.harness.builders import (
+    build_failstop_processes,
+    build_malicious_processes,
+)
+from repro.harness.runner import ExperimentRunner
+from repro.harness.tables import render_table
+from repro.harness.workloads import unanimous_inputs
+
+NS = [4, 7, 10, 13]
+
+
+def run_ablation(runs: int = 5):
+    rows = []
+    for n in NS:
+        k_fs = (n - 1) // 2
+        k_mal = (n - 1) // 3
+        fs_runner = ExperimentRunner(
+            lambda seed, n=n, k=k_fs: build_failstop_processes(
+                n, k, unanimous_inputs(n, 1)
+            )
+        )
+        fs_msgs = fs_runner.run_many(range(runs)).messages_stats().mean
+        mal_runner = ExperimentRunner(
+            lambda seed, n=n, k=k_mal: build_malicious_processes(
+                n, k, unanimous_inputs(n, 1)
+            ),
+            max_steps=3_000_000,
+        )
+        mal_msgs = mal_runner.run_many(range(runs)).messages_stats().mean
+        rows.append([n, fs_msgs, mal_msgs, mal_msgs / fs_msgs])
+    return rows
+
+
+def test_a4_message_complexity(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["n", "Fig.1 msgs/run", "Fig.2 msgs/run", "ratio"],
+            rows,
+            title="[A4] Message complexity: witness (n²/phase) vs echo (n³/phase)",
+        )
+    )
+    ratios = [row[3] for row in rows]
+    # The echo amplification factor grows with n (≈ linearly).
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 3.0

@@ -1,0 +1,66 @@
+"""Ablation A6 — the consensus-value S-curve ("approximation of majority").
+
+§2.3 and §3.3 both remark that the protocols compute an "approximation"
+of the initial-input majority: past the (n+k)/2 supermajority threshold
+the decision is forced, and in between "the consensus value is still
+likely to be equal to the majority of the initial input values".
+
+This bench makes the remark quantitative: for the §4.1 configuration
+(n = 30, k = 10), P[decide 1 | i initial ones] computed three ways —
+
+* exactly, from the chain's absorption probabilities B = N·R;
+* by lockstep Monte Carlo of the §4 abstraction;
+
+asserting the classic S-shape: ≈ 0 below n/3, ≈ 1/2 at the balanced
+state, ≈ 1 above 2n/3, and monotone throughout.
+"""
+
+from repro.analysis.failstop_chain import failstop_chain
+from repro.harness.tables import render_table
+from repro.sim.lockstep import LockstepMajoritySimulator
+
+N = 30
+K = N // 3
+STATES = [6, 10, 12, 14, 15, 16, 18, 20, 24]
+
+
+def build_rows(lockstep_runs: int = 300):
+    chain = failstop_chain(N)
+    absorption = chain.absorption_probabilities()
+    high_states = [s for s in chain.absorbing if s > N // 2]
+    simulator = LockstepMajoritySimulator(N, K)
+    rows = []
+    for start in STATES:
+        exact_high = sum(absorption[start].get(s, 0.0) for s in high_states)
+        ones_decided = 0
+        for run_index in range(lockstep_runs):
+            result = simulator.run(start, seed=1000 * start + run_index)
+            ones_decided += result.decided_value == 1
+        rows.append([start, exact_high, ones_decided / lockstep_runs])
+    return rows
+
+
+def test_a6_decision_curve(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["initial ones (of 30)", "P[decide 1] exact", "P[decide 1] lockstep"],
+            rows,
+            title="[A6] The majority-approximation S-curve (n=30, k=10)",
+        )
+    )
+    exact = {row[0]: row[1] for row in rows}
+    lockstep = {row[0]: row[2] for row in rows}
+    # Monotone S-shape.
+    values = [exact[s] for s in STATES]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+    # Saturated tails, fair centre.
+    assert exact[6] == 0.0 and exact[24] == 1.0
+    assert abs(exact[15] - 0.5) < 0.02
+    # A clear-but-unforced majority is "likely" to win (the §2.3 remark).
+    assert exact[18] > 0.85
+    assert exact[12] < 0.15
+    # Lockstep agrees with the exact curve pointwise.
+    for start in STATES:
+        assert abs(lockstep[start] - exact[start]) < 0.08

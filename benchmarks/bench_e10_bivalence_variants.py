@@ -1,0 +1,28 @@
+"""E10 — §5: the three bivalence interpretations, classified empirically.
+
+Regenerates the §5 taxonomy: Figures 1 and 2 satisfy the *strong*
+interpretation (both decision values reachable with and without
+faults), while the constant-0 protocol — the trivial case the problem
+statement excludes — fails all three interpretations.
+"""
+
+from repro.harness.experiments import e10_bivalence_variants
+
+
+def test_e10_bivalence_variants(benchmark, archive_report):
+    report = benchmark.pedantic(
+        lambda: e10_bivalence_variants(runs=60), rounds=1, iterations=1
+    )
+    archive_report(report)
+    by_name = {row[0]: row for row in report.rows}
+    fig1 = by_name["Fig.1 (n=7,k=3)"]
+    assert fig1[3] and fig1[4] and fig1[5]  # strong, intermediate, weak
+    fig2 = by_name["Fig.2 (n=7,k=2)"]
+    assert fig2[3]
+    constant = by_name["Constant-0 (n=5)"]
+    assert not constant[3] and not constant[4] and not constant[5]
+    footnote = by_name["§5 footnote (n=5, any #dead)"]
+    # The paper's own pattern: intermediate (bivalent when all correct)
+    # but NOT strong (pinned to 0 once any process is initially dead).
+    assert not footnote[3] and footnote[4] and footnote[5]
+    assert footnote[2] == [0]  # faulty regime decides only 0

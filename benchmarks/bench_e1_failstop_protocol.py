@@ -1,0 +1,32 @@
+"""E1 — Figure 1 / Theorem 2: the fail-stop protocol end to end.
+
+Regenerates: phases-to-decision and message counts of the Figure 1
+protocol across (n, k) with the full k crash victims injected, from the
+balanced input split.
+
+Paper shape asserted: 100% agreement; decision phases small (single
+digits) and essentially flat as n grows — the protocol's latency is a
+property of the probabilistic message system, not of scale.
+"""
+
+from repro.harness.experiments import e1_failstop_protocol
+
+CELLS = [(5, 2), (7, 3), (9, 4), (13, 6)]
+
+
+def test_e1_failstop_protocol(benchmark, archive_report):
+    report = benchmark.pedantic(
+        lambda: e1_failstop_protocol(cells=CELLS, runs=10),
+        rounds=1,
+        iterations=1,
+    )
+    archive_report(report)
+    assert len(report.rows) == len(CELLS)
+    for row in report.rows:
+        n, k, crashes, runs, agree, mean_phase, p75, max_phase, _steps = row
+        assert agree == "100%"
+        assert crashes == k
+        assert max_phase <= 12, f"n={n}: phases blew up: {max_phase}"
+    means = [row[5] for row in report.rows]
+    # Flat in n: largest mean within 3 phases of the smallest.
+    assert max(means) - min(means) <= 3.0

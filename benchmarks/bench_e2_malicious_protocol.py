@@ -1,0 +1,35 @@
+"""E2 — Figure 2 / Theorem 4: the malicious protocol under Byzantine fire.
+
+Regenerates: phases-to-decision of the Figure 2 protocol across (n, k)
+at full k Byzantine processes, for each adversary strategy (silent,
+balancing — §4's worst case — and equivocating).
+
+Paper shape asserted: 100% agreement against every strategy; the
+balancing adversary is the slowest (it is the §4 worst case), yet phase
+counts stay bounded.
+"""
+
+from collections import defaultdict
+
+from repro.harness.experiments import e2_malicious_protocol
+
+CELLS = [(4, 1), (7, 2), (10, 3)]
+
+
+def test_e2_malicious_protocol(benchmark, archive_report):
+    report = benchmark.pedantic(
+        lambda: e2_malicious_protocol(cells=CELLS, runs=6),
+        rounds=1,
+        iterations=1,
+    )
+    archive_report(report)
+    by_strategy = defaultdict(list)
+    for row in report.rows:
+        n, k, adversary, runs, agree, mean_phase, max_phase, _msgs = row
+        assert agree == "100%", f"{adversary} at n={n} broke agreement"
+        by_strategy[adversary].append(mean_phase)
+    # The balancing adversary should not be *faster* than silence on
+    # average — it is the designated worst case.
+    silent_mean = sum(by_strategy["silent"]) / len(by_strategy["silent"])
+    balancing_mean = sum(by_strategy["balancing"]) / len(by_strategy["balancing"])
+    assert balancing_mean >= silent_mean - 0.5

@@ -1,0 +1,37 @@
+"""E3 — §4.1: the fail-stop Markov analysis (eqs. (1)–(13)).
+
+Regenerates, per n (k = n/3): the exact expected absorption time from
+the balanced state, its tie-to-zero (protocol-faithful) variant, a
+Monte Carlo check of the chain, the collapsed 3×3 matrix R's expected
+time, the closed-form bound (13), and the Chebyshev check (7).
+
+Paper shape asserted: bound (13) < 7 for l² = 1.5 at every n (the
+paper's headline); the exact expectation sits below the bound and is
+roughly constant in n; w at the band edge respects w < 1/3.
+"""
+
+from repro.harness.experiments import e3_markov_failstop
+
+NS = [12, 30, 60, 90]
+
+
+def test_e3_markov_failstop(benchmark, archive_report):
+    report = benchmark.pedantic(
+        lambda: e3_markov_failstop(ns=NS, simulate_runs=150),
+        rounds=1,
+        iterations=1,
+    )
+    archive_report(report)
+    for row in report.rows:
+        (n, exact, exact_zero, mc, lockstep, collapsed, bound,
+         w_edge, chebyshev) = row
+        assert bound < 7.0, "the paper's '< 7 phases' headline must hold"
+        assert exact < bound
+        assert exact_zero <= exact + 1e-9  # tie→0 drift only accelerates
+        assert abs(mc - exact) / exact < 0.35  # chain MC sanity
+        # The lockstep simulator *is* the abstraction: quantitative match.
+        assert abs(lockstep - exact) / exact < 0.35
+        assert abs(collapsed - bound) < 1e-6  # (13) IS the R row sum
+        assert w_edge < chebyshev
+    exacts = [row[1] for row in report.rows]
+    assert max(exacts) - min(exacts) < 1.0  # ~constant in n

@@ -1,0 +1,40 @@
+"""E4 — §4.2: the malicious Markov analysis (balancing adversary).
+
+Regenerates, per (n, k = l√n/2): the expected absorption time from the
+balanced state of the literal paper chain and of the first-principles
+chain, the one-step absorption probability against its 2Φ(l) estimate,
+and the 1/(2Φ(l)) law.
+
+Paper shape asserted: expected time grows with l, is ~flat in n at
+fixed l, and the one-step probability approaches 2Φ(l) as n grows —
+so for k = o(√n) the expected time is constant (§4.2's conclusion).
+"""
+
+from repro.harness.experiments import e4_markov_malicious
+
+CELLS = [(60, 4), (60, 6), (60, 8), (100, 10), (200, 14), (400, 20)]
+
+
+def test_e4_markov_malicious(benchmark, archive_report):
+    report = benchmark.pedantic(
+        lambda: e4_markov_malicious(cells=CELLS),
+        rounds=1,
+        iterations=1,
+    )
+    archive_report(report)
+    rows = {(row[0], row[1]): row for row in report.rows}
+    # Growth in l at fixed n = 60.
+    e_by_k = [rows[(60, k)][3] for k in (4, 6, 8)]
+    assert e_by_k == sorted(e_by_k)
+    # ~Flat in n at l ≈ 2 (k = l√n/2): n=100/k=10 vs n=400/k=20.
+    assert rows[(400, 20)][3] < rows[(100, 10)][3] * 1.3
+    # One-step probability approaches the 2Φ(l) estimate as n grows.
+    gap_small = abs(rows[(100, 10)][6] - rows[(100, 10)][7]) / rows[(100, 10)][7]
+    gap_large = abs(rows[(400, 20)][6] - rows[(400, 20)][7]) / rows[(400, 20)][7]
+    assert gap_large < gap_small
+    for row in report.rows:
+        e_paper, e_mech, e_lockstep = row[3], row[4], row[5]
+        # The mechanistic (one-sided) adversary is weaker: faster absorption.
+        assert e_mech <= e_paper + 1e-9
+        # Lockstep Monte Carlo of the abstraction matches its chain.
+        assert abs(e_lockstep - e_mech) / e_mech < 0.35

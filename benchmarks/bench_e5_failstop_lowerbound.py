@@ -1,0 +1,21 @@
+"""E5 — Theorem 1: the partition/splice schedule, executed.
+
+Regenerates the three regimes of the fail-stop lower bound: the naive
+full-view-quorum protocol splitting past the bound, the same protocol
+deadlocking safely at the bound, and Figure 1 refusing to split even
+past the bound (it loses liveness instead — its thresholds are the
+mechanism the naive protocol lacks).
+"""
+
+from repro.harness.experiments import e5_failstop_lowerbound
+
+
+def test_e5_failstop_lowerbound(benchmark, archive_report):
+    report = benchmark.pedantic(
+        lambda: e5_failstop_lowerbound(n=8), rounds=1, iterations=1
+    )
+    archive_report(report)
+    outcomes = {(row[0], row[2]): row[3] for row in report.rows}
+    assert "SPLIT" in outcomes[("naive", "k>bound")]
+    assert "no decision" in outcomes[("naive", "k=bound")]
+    assert "SPLIT" not in outcomes[("fig1", "k>bound")]

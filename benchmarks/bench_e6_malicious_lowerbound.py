@@ -1,0 +1,21 @@
+"""E6 — Theorem 3: the malicious rewind/replay schedule, executed.
+
+Regenerates the replay attack (n = 3k, the malicious overlap rewinds
+its state between the S-run and the T-run): the naive quorum splits,
+while the (n+k)/2 thresholds of the §4.1 variant and of Figure 2 turn
+the same attack into a stall — they are calibrated to exactly the
+⌊(n−1)/3⌋ bound.
+"""
+
+from repro.harness.experiments import e6_malicious_lowerbound
+
+
+def test_e6_malicious_lowerbound(benchmark, archive_report):
+    report = benchmark.pedantic(
+        lambda: e6_malicious_lowerbound(k=2), rounds=1, iterations=1
+    )
+    archive_report(report)
+    outcomes = {row[0]: row[4] for row in report.rows}
+    assert "SPLIT" in outcomes["naive"]
+    assert "SPLIT" not in outcomes["simple"]
+    assert "SPLIT" not in outcomes["echo"]

@@ -1,0 +1,25 @@
+"""E7 — Lemma 2: exhaustive bivalence certification on tiny instances.
+
+Regenerates: an exhaustive exploration of every legal delivery schedule
+of the Figure 1 protocol at n = 3, k = 1, certifying that mixed-input
+initial configurations can reach *both* decisions (the bivalent initial
+configuration Lemma 2 guarantees) while unanimous ones decide only
+their input value within the explored bound.
+"""
+
+from repro.harness.experiments import e7_bivalence_modelcheck
+
+
+def test_e7_bivalence_modelcheck(benchmark, archive_report):
+    report = benchmark.pedantic(
+        lambda: e7_bivalence_modelcheck(max_configurations=60_000),
+        rounds=1,
+        iterations=1,
+    )
+    archive_report(report)
+    verdicts = {row[0]: row[2] for row in report.rows}
+    assert verdicts["011"] == "bivalent"
+    assert verdicts["000"] == "univalent-0"
+    assert verdicts["111"] == "univalent-1"
+    # The tie-break asymmetry: a lone 1-holder loses every tied view.
+    assert verdicts["001"] == "univalent-0"

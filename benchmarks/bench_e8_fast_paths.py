@@ -1,0 +1,22 @@
+"""E8 — the paper's fast-path phase-count promises.
+
+Regenerates the quantitative closing remarks of §2.3 and §3.3:
+unanimous inputs decide within ~2 phases; a > (n+k)/2 supermajority
+nearly as fast; and with k < n/5 Byzantine processes, every correct
+process decides within one phase of the first decider.
+"""
+
+from repro.harness.experiments import e8_fast_paths
+
+
+def test_e8_fast_paths(benchmark, archive_report):
+    report = benchmark.pedantic(
+        lambda: e8_fast_paths(runs=12), rounds=1, iterations=1
+    )
+    archive_report(report)
+    rows = {(row[0], row[1]): row for row in report.rows}
+    assert rows[("unanimity", "Fig.1")][4] <= 3
+    assert rows[("supermajority", "Fig.1")][4] <= 3
+    assert rows[("unanimity", "Fig.2")][4] <= 2
+    assert rows[("supermajority", "Fig.2")][4] <= 2
+    assert rows[("k<n/5 spread", "Fig.2")][4] <= 1

@@ -1,0 +1,32 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one paper artifact (table/figure/analytic
+claim) via the shared implementations in
+:mod:`repro.harness.experiments`, asserts the paper's qualitative shape,
+and archives the rendered table under ``benchmarks/reports/`` so
+EXPERIMENTS.md can quote exactly what a run produced.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture()
+def archive_report():
+    """Write a rendered experiment report to benchmarks/reports/<id>.txt."""
+
+    def _archive(report) -> str:
+        REPORT_DIR.mkdir(exist_ok=True)
+        text = report.render()
+        path = REPORT_DIR / f"{report.experiment_id.lower()}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        return text
+
+    return _archive

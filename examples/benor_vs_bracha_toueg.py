@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Two ways to randomize consensus: Ben-Or vs Bracha–Toueg.
+
+The paper's §1 and §6 frame the design space: [BenO83] puts the
+randomness *inside the protocol* (each undecided process flips a local
+coin), while Bracha–Toueg put it *in the message system* (every view
+has positive probability) and keep the protocol deterministic.
+
+From the hardest starting point — a perfectly balanced input split —
+this example measures both across n: rounds/phases to full decision and
+how many coin flips Ben-Or burned waiting for its coins to align.
+
+Run:
+    python examples/benor_vs_bracha_toueg.py
+"""
+
+from repro.analysis.benor_chain import expected_rounds_from_balanced
+from repro.harness.builders import (
+    build_benor_processes,
+    build_failstop_processes,
+)
+from repro.harness.stats import summarize
+from repro.harness.tables import render_table
+from repro.harness.workloads import balanced_inputs
+from repro.sim import Simulation
+
+
+def measure(n: int, runs: int = 12) -> list:
+    t = (n - 1) // 2
+    benor_rounds, benor_coins = [], []
+    for seed in range(runs):
+        processes = build_benor_processes(n, t, balanced_inputs(n))
+        result = Simulation(processes, seed=seed).run(max_steps=5_000_000)
+        result.check_agreement()
+        benor_rounds.append(max(result.phases_to_decide()))
+        benor_coins.append(sum(p.coin_flips for p in processes))
+    bt_phases = []
+    for seed in range(runs):
+        processes = build_failstop_processes(n, t, balanced_inputs(n))
+        result = Simulation(processes, seed=seed).run(max_steps=2_000_000)
+        result.check_agreement()
+        bt_phases.append(max(result.phases_to_decide()))
+    return [
+        n,
+        expected_rounds_from_balanced(n, t),
+        summarize(benor_rounds).mean,
+        max(benor_rounds),
+        summarize(benor_coins).mean,
+        summarize(bt_phases).mean,
+        max(bt_phases),
+    ]
+
+
+def main() -> None:
+    rows = [measure(n) for n in (5, 9, 13, 17)]
+    print(
+        render_table(
+            [
+                "n", "BenOr E[rounds] exact", "BenOr rounds(mean)",
+                "BenOr rounds(max)", "BenOr coin flips(mean)",
+                "Fig.1 phases(mean)", "Fig.1 phases(max)",
+            ],
+            rows,
+            title="Balanced inputs, t = ⌊(n−1)/2⌋ fail-stop resilience",
+        )
+    )
+    print()
+    print("Ben-Or needs its independent coins to align (cost grows with n);")
+    print("the Bracha–Toueg protocol rides the message system's randomness")
+    print("and stays near-constant — §6's 'viable solution' argument.")
+
+
+if __name__ == "__main__":
+    main()

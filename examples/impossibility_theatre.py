@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Impossibility theatre: the paper's lower bounds, staged.
+
+Act I  — Theorem 1.  A protocol that claims to survive n/2 fail-stop
+deaths is split in two by the partition-and-splice schedule σ = σ₀·σ₁:
+each half, unable to distinguish "the others are dead" from "the
+others are slow", finishes alone — on different values.  The same
+schedule against Figure 1 produces no split (only lost liveness), and
+at the legal bound k = ⌊(n−1)/2⌋ the halves simply deadlock.
+
+Act II — Theorem 3.  With n = 3k, the k malicious processes first help
+one correct camp decide 0, then *rewind themselves to their initial
+state* and replay the protocol with the other camp as if they had
+always held 1.  The naive quorum splits; the paper's (n+k)/2 thresholds
+turn the same attack into a stall.
+
+Act III — Lemma 2.  An exhaustive walk over every legal delivery
+schedule of Figure 1 at n = 3, k = 1 certifies that the mixed-input
+configuration (0,1,1) is *bivalent* — schedules exist deciding 0 and
+schedules exist deciding 1 — while unanimous configurations are
+univalent.  This is the configuration every impossibility proof in this
+family pivots on.
+
+Run:
+    python examples/impossibility_theatre.py
+"""
+
+from repro.core.fail_stop import FailStopConsensus
+from repro.lowerbounds import (
+    explore_all_schedules,
+    partition_arithmetic,
+    replay_arithmetic,
+    theorem1_partition_scenario,
+    theorem3_replay_scenario,
+)
+
+
+def act_one() -> None:
+    print("=== Act I: Theorem 1 (no ⌊n/2⌋-resilient fail-stop consensus) ===")
+    n = 8
+    facts = partition_arithmetic(n, (n + 1) // 2)
+    print(
+        f"n={n}: halves of size {facts['half_size']}; a view needs "
+        f"n−k={facts['view_size']} messages — each half is self-sufficient."
+    )
+    print(" naive quorum, k=4 :", theorem1_partition_scenario(n).summary())
+    print(" naive quorum, k=3 :", theorem1_partition_scenario(n, k=3).summary())
+    print(
+        " Figure 1,     k=4 :",
+        theorem1_partition_scenario(n, protocol="fig1", stage_steps=15_000).summary(),
+    )
+    print()
+
+
+def act_two() -> None:
+    print("=== Act II: Theorem 3 (no ⌊n/3⌋-resilient malicious consensus) ===")
+    k = 2
+    facts = replay_arithmetic(3 * k, k)
+    print(
+        f"n={3 * k}: two views of size {facts['view_size']} can overlap in "
+        f"exactly the {k} malicious processes — the rewind is possible."
+    )
+    for protocol in ("naive", "simple", "echo"):
+        outcome = theorem3_replay_scenario(k=k, protocol=protocol, stage_steps=20_000)
+        print(f" {protocol:7s}:", outcome.summary())
+    print()
+
+
+def act_three() -> None:
+    print("=== Act III: Lemma 2 (a bivalent initial configuration exists) ===")
+    for inputs in ((0, 1, 1), (0, 0, 0), (1, 1, 1)):
+        unanimous = len(set(inputs)) == 1
+        result = explore_all_schedules(
+            lambda inputs=inputs: [
+                FailStopConsensus(pid, 3, 1, inputs[pid]) for pid in range(3)
+            ],
+            max_phase=2 if unanimous else 4,
+            max_configurations=60_000,
+            stop_when_bivalent=not unanimous,
+        )
+        verdict = "BIVALENT" if result.bivalent else (
+            f"univalent-{min(result.decision_values)}"
+            if result.decision_values else "undecided in bound"
+        )
+        print(
+            f" inputs {inputs}: reachable decisions "
+            f"{sorted(result.decision_values)} → {verdict} "
+            f"({result.configurations_explored} configurations explored)"
+        )
+
+
+if __name__ == "__main__":
+    act_one()
+    act_two()
+    act_three()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: run both of the paper's consensus protocols.
+
+Builds a 7-process system with mixed inputs, runs the Figure 1
+(fail-stop) protocol with a mid-broadcast crash and the Figure 2
+(malicious) protocol with a lying process, and prints what happened.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    BalancingEchoByzantine,
+    CrashableProcess,
+    FailStopConsensus,
+    MaliciousConsensus,
+    Simulation,
+)
+
+
+def fail_stop_demo() -> None:
+    n, k = 7, 3  # k at the optimal bound ⌊(n−1)/2⌋
+    inputs = [0, 1, 0, 1, 1, 0, 1]
+    processes = [FailStopConsensus(pid, n, k, inputs[pid]) for pid in range(n)]
+    # Process 2 dies mid-broadcast after its third step: only 2 of its 7
+    # sends escape.  Deaths are silent — nobody is told.
+    processes[2] = CrashableProcess(
+        FailStopConsensus(2, n, k, inputs[2]), crash_at_step=3, keep_sends=2
+    )
+
+    result = Simulation(processes, seed=42).run()
+    result.check_agreement()
+
+    print("=== Figure 1: fail-stop consensus ===")
+    print(f"inputs            : {inputs}")
+    print(f"crashed processes : {sorted(result.crashed_pids)}")
+    print(f"decisions         : {list(result.decisions)}")
+    print(f"consensus value   : {result.consensus_value}")
+    print(f"decision phases   : {result.phases_to_decide()}")
+    print(f"steps / messages  : {result.steps} / {result.messages_sent}")
+    print()
+
+
+def malicious_demo() -> None:
+    n, k = 7, 2  # k at the optimal bound ⌊(n−1)/3⌋
+    inputs = [0, 1, 0, 1, 1, 0, 1]
+    processes = [
+        MaliciousConsensus(pid, n, k, inputs[pid]) for pid in range(n)
+    ]
+    # Two Byzantine processes running the Section 4 worst case: they
+    # advertise whichever value is in the minority, trying to keep the
+    # system balanced forever.
+    processes[5] = BalancingEchoByzantine(5, n, k, inputs[5])
+    processes[6] = BalancingEchoByzantine(6, n, k, inputs[6])
+
+    result = Simulation(processes, seed=42).run(max_steps=3_000_000)
+    result.check_agreement()
+
+    print("=== Figure 2: malicious consensus ===")
+    print(f"inputs            : {inputs}")
+    print(f"byzantine         : [5, 6] (balancing adversaries)")
+    print(f"correct decisions : {result.correct_decisions}")
+    print(f"consensus value   : {result.consensus_value}")
+    print(f"decision phases   : {result.phases_to_decide()}")
+    print(f"steps / messages  : {result.steps} / {result.messages_sent}")
+
+
+if __name__ == "__main__":
+    fail_stop_demo()
+    malicious_demo()

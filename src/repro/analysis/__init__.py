@@ -1,0 +1,91 @@
+"""Section 4 performance analysis: Markov chains and closed-form bounds.
+
+The paper models each protocol's phase dynamics as an absorbing Markov
+chain on "how many processes currently hold value 1" and bounds the
+expected number of phases to absorption.  This package reproduces that
+analysis three ways:
+
+* **exact** — build the full transition matrix from the hypergeometric /
+  binomial formulas of Section 4 and solve the fundamental-matrix linear
+  system (no normal approximations);
+* **closed form** — evaluate the paper's approximate bounds: the 3×3
+  collapsed matrix R of eq. (11), its row-sum bound (13) (< 7 phases for
+  l² = 1.5), and the malicious-case bound 1/(2Φ(l)) of §4.2;
+* **Monte Carlo** — simulate the chain (and, in the benchmarks, the real
+  protocol) and compare.
+"""
+
+from repro.analysis.normal import phi_upper_tail, normal_tail_approximation
+from repro.analysis.chains import AbsorbingChain
+from repro.analysis.failstop_chain import (
+    majority_adoption_probability,
+    failstop_transition_matrix,
+    failstop_chain,
+    collapsed_matrix_R,
+    expected_phases_bound_eq13,
+    chebyshev_w_bound_eq7,
+    PAPER_L_SQUARED,
+)
+from repro.analysis.distributions import (
+    survival_function,
+    absorption_time_pmf,
+    absorption_time_percentile,
+    geometric_tail_rate,
+    dominant_transient_eigenvalue,
+)
+from repro.analysis.benor_chain import (
+    benor_chain,
+    benor_transition_matrix,
+    proposal_probability,
+    adoption_probability,
+    expected_rounds_from_balanced,
+)
+from repro.analysis.collapse import (
+    band_partition,
+    banded_matrix,
+    banded_chain,
+    audit_collapse,
+)
+from repro.analysis.malicious_chain import (
+    balanced_ones_total,
+    malicious_transition_matrix_paper,
+    malicious_transition_matrix_first_principles,
+    malicious_chain,
+    expected_phases_bound_42,
+    l_for_k,
+    k_for_l,
+)
+
+__all__ = [
+    "phi_upper_tail",
+    "normal_tail_approximation",
+    "AbsorbingChain",
+    "survival_function",
+    "absorption_time_pmf",
+    "absorption_time_percentile",
+    "geometric_tail_rate",
+    "dominant_transient_eigenvalue",
+    "benor_chain",
+    "benor_transition_matrix",
+    "proposal_probability",
+    "adoption_probability",
+    "expected_rounds_from_balanced",
+    "band_partition",
+    "banded_matrix",
+    "banded_chain",
+    "audit_collapse",
+    "majority_adoption_probability",
+    "failstop_transition_matrix",
+    "failstop_chain",
+    "collapsed_matrix_R",
+    "expected_phases_bound_eq13",
+    "chebyshev_w_bound_eq7",
+    "PAPER_L_SQUARED",
+    "balanced_ones_total",
+    "malicious_transition_matrix_paper",
+    "malicious_transition_matrix_first_principles",
+    "malicious_chain",
+    "expected_phases_bound_42",
+    "l_for_k",
+    "k_for_l",
+]

@@ -1,0 +1,130 @@
+"""A §4-style Markov analysis of the Ben-Or baseline.
+
+The paper analyses *its* protocols as Markov chains (Section 4) and
+contrasts them with [BenO83] qualitatively (§1/§6: protocol-internal
+coins, exponential worst case).  This module gives Ben-Or the same
+treatment under the same simplifying assumption — in every exchange,
+every (n−t)-subset of the n messages is equally likely — so the E9
+comparison can show *analytic* expected round counts side by side.
+
+One fail-stop Ben-Or round from state i (processes holding 1, no
+crashes — §4's worst case has fail-stop processes not failing):
+
+1. *Reports.*  Every process samples n−t of the n reports; it proposes
+   v iff more than n/2 of its sample carry v, else ⊥.  Given i, each
+   process proposes 1 with q₁(i) (a hypergeometric tail), 0 with q₀(i),
+   ⊥ otherwise — independently, since samples are independent.
+   At most one value is proposable per round: > n/2 of a sample needs
+   > n/2 of the pool.
+2. *Proposals.*  The proposal pool is thus c ~ Binomial(n, q_v)
+   proposals for the single live value v and n−c ⊥s.  Every process
+   samples n−t proposals; it decides v on more than t of them, adopts v
+   on at least one, and flips a fair coin on none.
+
+So, conditioned on (i → value v live, c proposals), each process
+adopts v with probability α(c) = P[≥ 1 v-proposal in the sample] and
+coins otherwise — giving the next state a Binomial mixture.  The chain
+absorbs at unanimity (0 or n): from there every sample is unanimous,
+everyone proposes, everyone sees > t proposals, and the round decides.
+
+The headline this produces (and the tests pin): the expected rounds
+from the balanced state **grows with n** — Ben-Or's independent coins
+must align — while the §4.1 chain of the Bracha–Toueg protocol stays at
+≈ 2.3 phases flat.  The decision quantity isn't the per-round absorption
+of a balancing adversary (there is none here); it is coin alignment,
+and it is what the paper's §6 remark is about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.chains import AbsorbingChain, declare_absorbing
+from repro.errors import ConfigurationError
+
+
+def proposal_probability(n: int, t: int, ones: int, value: int) -> float:
+    """q_v(i): P[one process proposes ``value``] from state ``ones``.
+
+    A proposal for v needs strictly more than n/2 of the n−t sampled
+    reports to carry v.
+    """
+    if not 0 <= ones <= n:
+        raise ConfigurationError(f"ones={ones} out of range for n={n}")
+    sample = n - t
+    carriers = ones if value == 1 else n - ones
+    threshold = n // 2  # need count > n/2  ⇔  count ≥ ⌊n/2⌋ + 1
+    return float(stats.hypergeom(n, carriers, sample).sf(threshold))
+
+
+def adoption_probability(n: int, t: int, proposals: int) -> float:
+    """α(c): P[a process's (n−t)-sample contains ≥ 1 of c proposals]."""
+    if proposals <= 0:
+        return 0.0
+    if proposals > t:
+        # Fewer than n−t non-proposals exist: every sample hits one.
+        return 1.0
+    none = stats.hypergeom(n, proposals, n - t).pmf(0)
+    return float(1.0 - none)
+
+
+def benor_transition_matrix(n: int, t: int) -> np.ndarray:
+    """Row-stochastic transition matrix over states 0..n (ones held).
+
+    Integrates over the proposal count c ~ Binomial(n, q_v) and, for
+    each c, mixes the adopt-v processes with the coin-flippers.
+    """
+    if not 0 <= t < n or 2 * t >= n:
+        raise ConfigurationError(
+            f"fail-stop Ben-Or needs 0 <= t < n/2; got n={n}, t={t}"
+        )
+    states = n + 1
+    support = np.arange(states)
+    matrix = np.zeros((states, states))
+    for i in range(states):
+        q1 = proposal_probability(n, t, i, 1)
+        q0 = proposal_probability(n, t, i, 0)
+        # At most one value is proposable (both need > n/2 of the pool).
+        if q1 > 0.0 and q0 > 0.0:
+            raise ConfigurationError(
+                f"state {i}: both values proposable — threshold bug"
+            )
+        live_value = 1 if q1 > 0.0 else 0
+        q_live = max(q1, q0)
+        row = np.zeros(states)
+        count_dist = stats.binom(n, q_live)
+        for c in range(states):
+            weight = float(count_dist.pmf(c))
+            if weight == 0.0:
+                continue
+            alpha = adoption_probability(n, t, c)
+            # A process adopts the live value with α, else flips fair.
+            p_one = (
+                alpha + (1 - alpha) * 0.5 if live_value == 1
+                else (1 - alpha) * 0.5
+            )
+            row += weight * stats.binom(n, p_one).pmf(support)
+        matrix[i] = row
+    matrix = np.clip(matrix, 0.0, None)
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    return matrix
+
+
+def benor_chain(n: int, t: int) -> AbsorbingChain:
+    """The Ben-Or chain with unanimity absorbing.
+
+    From state 0 or n every report sample is unanimous, every process
+    proposes, every proposal sample holds n−t > t proposals, and the
+    round decides — so unanimity is where the interesting dynamics end.
+    """
+    matrix = benor_transition_matrix(n, t)
+    return AbsorbingChain(declare_absorbing(matrix, [0, n]), [0, n])
+
+
+def expected_rounds_from_balanced(n: int, t: int | None = None) -> float:
+    """E[rounds to unanimity] from ⌊n/2⌋ ones (t defaults to ⌊(n−1)/2⌋)."""
+    if t is None:
+        t = (n - 1) // 2
+    chain = benor_chain(n, t)
+    return chain.expected_absorption_times()[n // 2]

@@ -1,0 +1,163 @@
+"""Generic absorbing Markov chain machinery.
+
+Section 4 cites [Isaa76] for the standard result it relies on: with the
+chain's transition matrix arranged so Q is the transient-to-transient
+block, the fundamental matrix N = (I − Q)⁻¹ gives expected absorption
+times as row sums of N.  :class:`AbsorbingChain` packages that plus exact
+absorption probabilities and a seeded Monte Carlo simulator used by the
+validation tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class AbsorbingChain:
+    """An absorbing Markov chain over states ``0 .. m-1``.
+
+    Args:
+        matrix: row-stochastic transition matrix (m × m).
+        absorbing: indices of absorbing states.  Their rows are *checked*
+            to be identity rows (the paper's chains declare absorbing
+            sets explicitly; the builders overwrite those rows).
+        atol: numeric tolerance for stochasticity checks.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        absorbing: Iterable[int],
+        atol: float = 1e-9,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ConfigurationError(
+                f"transition matrix must be square, got shape {matrix.shape}"
+            )
+        if (matrix < -atol).any():
+            raise ConfigurationError("transition matrix has negative entries")
+        row_sums = matrix.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-6):
+            worst = int(np.argmax(np.abs(row_sums - 1.0)))
+            raise ConfigurationError(
+                f"transition matrix is not row-stochastic: row {worst} "
+                f"sums to {row_sums[worst]!r}"
+            )
+        self.matrix = matrix
+        self.m = matrix.shape[0]
+        self.absorbing = sorted(set(absorbing))
+        if not self.absorbing:
+            raise ConfigurationError("an absorbing chain needs absorbing states")
+        for state in self.absorbing:
+            if not 0 <= state < self.m:
+                raise ConfigurationError(f"absorbing state {state} out of range")
+            row = np.zeros(self.m)
+            row[state] = 1.0
+            if not np.allclose(matrix[state], row, atol=atol):
+                raise ConfigurationError(
+                    f"state {state} declared absorbing but its row is not "
+                    "an identity row"
+                )
+        self.transient = [s for s in range(self.m) if s not in set(self.absorbing)]
+
+    # ------------------------------------------------------------------ #
+    # Exact quantities via the fundamental matrix
+    # ------------------------------------------------------------------ #
+
+    def fundamental_matrix(self) -> np.ndarray:
+        """N = (I − Q)⁻¹ over the transient states (in ``self.transient`` order)."""
+        q = self.matrix[np.ix_(self.transient, self.transient)]
+        identity = np.eye(len(self.transient))
+        return np.linalg.solve(identity - q, identity)
+
+    def expected_absorption_times(self) -> dict[int, float]:
+        """Expected steps to absorption from every transient state.
+
+        [Isaa76]: the expected absorption time from transient state s is
+        the corresponding row sum of N.  Absorbing states map to 0.
+        """
+        times = {state: 0.0 for state in self.absorbing}
+        if self.transient:
+            n_matrix = self.fundamental_matrix()
+            row_sums = n_matrix.sum(axis=1)
+            for position, state in enumerate(self.transient):
+                times[state] = float(row_sums[position])
+        return times
+
+    def absorption_probabilities(self) -> dict[int, dict[int, float]]:
+        """B = N·R: from each transient state, where the chain gets absorbed."""
+        result: dict[int, dict[int, float]] = {
+            state: {state: 1.0} for state in self.absorbing
+        }
+        if not self.transient:
+            return result
+        r = self.matrix[np.ix_(self.transient, self.absorbing)]
+        b = self.fundamental_matrix() @ r
+        for position, state in enumerate(self.transient):
+            result[state] = {
+                target: float(b[position, column])
+                for column, target in enumerate(self.absorbing)
+            }
+        return result
+
+    def one_step_absorption_probability(self, state: int) -> float:
+        """Probability of landing in *some* absorbing state in one step."""
+        return float(self.matrix[state, self.absorbing].sum())
+
+    # ------------------------------------------------------------------ #
+    # Monte Carlo (validation of the exact solver and of the protocols)
+    # ------------------------------------------------------------------ #
+
+    def simulate_absorption_time(
+        self,
+        start: int,
+        rng: random.Random,
+        max_steps: int = 1_000_000,
+    ) -> int:
+        """Sample one trajectory; return the number of steps to absorption."""
+        if not 0 <= start < self.m:
+            raise ConfigurationError(f"start state {start} out of range")
+        absorbing = set(self.absorbing)
+        state = start
+        population = list(range(self.m))
+        for step in range(max_steps):
+            if state in absorbing:
+                return step
+            state = rng.choices(population, weights=self.matrix[state], k=1)[0]
+        raise ConfigurationError(
+            f"trajectory from {start} not absorbed within {max_steps} steps"
+        )
+
+    def mean_simulated_absorption_time(
+        self,
+        start: int,
+        runs: int,
+        seed: Optional[int] = None,
+    ) -> float:
+        """Average of :meth:`simulate_absorption_time` over ``runs`` samples."""
+        rng = random.Random(seed)
+        total = sum(
+            self.simulate_absorption_time(start, rng) for _ in range(runs)
+        )
+        return total / runs
+
+
+def declare_absorbing(matrix: np.ndarray, absorbing: Sequence[int]) -> np.ndarray:
+    """Overwrite the given rows with identity rows and return the matrix.
+
+    The paper *declares* certain states absorbing (once fewer than n/3
+    processes hold a value, the outcome is determined and decisions
+    follow deterministically) even though the raw transition formula
+    would still move them; this helper applies that declaration.
+    """
+    matrix = np.array(matrix, dtype=float, copy=True)
+    for state in absorbing:
+        matrix[state, :] = 0.0
+        matrix[state, state] = 1.0
+    return matrix

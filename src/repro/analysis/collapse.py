@@ -1,0 +1,185 @@
+"""The §4.1 five-band collapse (the step between the chain and R).
+
+Section 4.1 slows the exact chain down in two auditable moves before
+reaching the 3×3 matrix R of eq. (11):
+
+1. **Partition** the states into five bands around n/2::
+
+       A = [0, n/3)                      (absorbing, low)
+       B = [n/3, n/2 − l√n/2)            (outer left)
+       C = [n/2 − l√n/2, n/2 + l√n/2]    (the balanced core)
+       D = (n/2 + l√n/2, 2n/3]           (outer right)
+       E = (2n/3, n]                     (absorbing, high)
+
+2. **Identify** every band state with its representative — the state of
+   the band *closest to the centre* (B → n/2 − l√n/2 − 1, C → n/2,
+   D → n/2 + l√n/2 + 1): since expected absorption time is monotone
+   toward the centre, replacing a row by a more central row can only
+   slow absorption.  Collapsing columns by band sum then yields a 5×5
+   matrix M.
+
+This module builds M exactly and verifies, numerically, each inequality
+the paper then applies to M to reach R:
+
+* eq. (8)/(9): M[B→C] ≤ Φ((√n + 3l)/√8) — via the Chebyshev bound (7)
+  on w at the B representative plus the normal tail (2);
+* eq. (10): M[B→A] > Φ(0) = 1/2;
+* M[C→C] ≈ 1 − 2Φ(l) (the centre leaks into B∪D with ≈ 2Φ(l)).
+
+It also exposes the expected absorption time of the collapsed 5-state
+chain, which must sandwich between the exact chain's and bound (13):
+E[exact] ≤ E[banded] ≤ bound — the full audit trail of the "< 7"
+headline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.chains import AbsorbingChain, declare_absorbing
+from repro.analysis.failstop_chain import (
+    PAPER_L_SQUARED,
+    failstop_transition_matrix,
+)
+from repro.errors import ConfigurationError
+
+BAND_NAMES = ("A", "B", "C", "D", "E")
+
+
+@dataclass(frozen=True)
+class BandPartition:
+    """The A–E state ranges for a given (n, l)."""
+
+    n: int
+    l: float
+    ranges: dict[str, range]
+
+    def band_of(self, state: int) -> str:
+        """Name of the band (A–E) containing ``state``."""
+        for name, states in self.ranges.items():
+            if state in states:
+                return name
+        raise ConfigurationError(f"state {state} outside 0..{self.n}")
+
+    @property
+    def representatives(self) -> dict[str, int]:
+        """The centre-most state of each transient band (B, C, D)."""
+        return {
+            "B": self.ranges["B"][-1],
+            "C": self.n // 2,
+            "D": self.ranges["D"][0],
+        }
+
+
+def band_partition(n: int, l: float | None = None) -> BandPartition:
+    """Compute the §4.1 bands; needs 3 | n and non-empty B, D."""
+    if n % 3 != 0:
+        raise ConfigurationError(f"the §4.1 partition takes k = n/3; 3 ∤ {n}")
+    if l is None:
+        l = math.sqrt(PAPER_L_SQUARED)
+    half_width = l * math.sqrt(n) / 2.0
+    c_low = math.ceil(n / 2.0 - half_width)
+    c_high = math.floor(n / 2.0 + half_width)
+    third = n // 3
+    if not third < c_low:
+        raise ConfigurationError(
+            f"band B empty for n={n}, l={l:.3f}: the core [{c_low}, {c_high}] "
+            f"touches n/3={third}; use a larger n"
+        )
+    ranges = {
+        "A": range(0, third),
+        "B": range(third, c_low),
+        "C": range(c_low, c_high + 1),
+        "D": range(c_high + 1, 2 * third + 1),
+        "E": range(2 * third + 1, n + 1),
+    }
+    covered = sum(len(r) for r in ranges.values())
+    if covered != n + 1:
+        raise ConfigurationError(
+            f"partition of n={n} covers {covered} states instead of {n + 1}"
+        )
+    return BandPartition(n=n, l=l, ranges=ranges)
+
+
+def banded_matrix(
+    n: int, l: float | None = None, tie_break: str = "random"
+) -> tuple[np.ndarray, BandPartition]:
+    """The exact 5×5 collapsed matrix M (identification + column sums)."""
+    partition = band_partition(n, l)
+    raw = failstop_transition_matrix(n, n // 3, tie_break)
+    representatives = partition.representatives
+    matrix = np.zeros((5, 5))
+    for row_index, name in enumerate(BAND_NAMES):
+        if name in ("A", "E"):
+            matrix[row_index, row_index] = 1.0
+            continue
+        source_row = raw[representatives[name]]
+        for column_index, target in enumerate(BAND_NAMES):
+            matrix[row_index, column_index] = float(
+                source_row[list(partition.ranges[target])].sum()
+            )
+    # Numeric guard.
+    matrix = np.clip(matrix, 0.0, None)
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    return matrix, partition
+
+
+def banded_chain(n: int, l: float | None = None) -> AbsorbingChain:
+    """M as an absorbing chain (bands A and E absorbing)."""
+    matrix, _ = banded_matrix(n, l)
+    return AbsorbingChain(declare_absorbing(matrix, [0, 4]), [0, 4])
+
+
+@dataclass(frozen=True)
+class CollapseAudit:
+    """The numeric facts behind eqs. (8)–(10) for one (n, l)."""
+
+    n: int
+    l: float
+    m_cc: float
+    one_minus_2phi: float
+    m_bc: float
+    phi_escape_bound: float
+    m_ba: float
+    expected_exact: float
+    expected_banded: float
+    bound_13: float
+
+    @property
+    def orderings_hold(self) -> bool:
+        """E[exact] ≤ E[banded] ≤ bound (13) — the audit trail."""
+        return (
+            self.expected_exact <= self.expected_banded + 1e-9
+            and self.expected_banded <= self.bound_13 + 1e-9
+        )
+
+
+def audit_collapse(n: int, l: float | None = None) -> CollapseAudit:
+    """Compute every quantity §4.1 manipulates, exactly."""
+    from repro.analysis.failstop_chain import (
+        expected_phases_bound_eq13,
+        failstop_chain,
+    )
+    from repro.analysis.normal import phi_upper_tail
+
+    matrix, partition = banded_matrix(n, l)
+    l_value = partition.l
+    exact = failstop_chain(n).expected_absorption_times()[n // 2]
+    banded = banded_chain(n, l).expected_absorption_times()[2]  # from C
+    return CollapseAudit(
+        n=n,
+        l=l_value,
+        m_cc=float(matrix[2, 2]),
+        one_minus_2phi=1.0 - 2.0 * phi_upper_tail(l_value),
+        m_bc=float(matrix[1, 2]),
+        phi_escape_bound=phi_upper_tail(
+            (math.sqrt(n) + 3.0 * l_value) / math.sqrt(8.0)
+        ),
+        m_ba=float(matrix[1, 0]),
+        expected_exact=exact,
+        expected_banded=banded,
+        bound_13=expected_phases_bound_eq13(n, l_value),
+    )

@@ -1,0 +1,229 @@
+"""The Section 4.1 Markov chain (fail-stop performance analysis).
+
+Section 4.1 analyses the simple-majority variant
+(:class:`repro.core.simple_majority.SimpleMajorityConsensus`) at k = n/3
+under the simplifying assumption that, in every phase, every set of n−k
+messages is equally likely to be the set a process receives.  The system
+state is i = number of processes holding value 1, and:
+
+* a single process's view is a uniform (n−k)-subset of the n per-phase
+  messages, so the number of 1s it sees is hypergeometric and it adopts
+  value 1 with probability w_i (the hypergeometric majority tail of
+  eq. (1));
+* processes sample independently, so the next state is Binomial(n, w_i),
+  giving P_{i,j} = C(n, j)·w_i^j·(1−w_i)^{n−j};
+* states 0 … n/3−1 and 2n/3+1 … n are declared absorbing — from them
+  every view has a fixed majority, so the outcome is determined.
+
+This module builds that chain *exactly* (scipy hypergeometric/binomial,
+no normal approximation), generalises it to any k, and evaluates the
+paper's closed-form machinery: the collapsed 3×3 matrix R of eq. (11),
+the expected-phase bound (13), and the Chebyshev bound (7) on w.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.chains import AbsorbingChain, declare_absorbing
+from repro.analysis.normal import phi_upper_tail
+from repro.errors import ConfigurationError
+
+#: Section 4.1 sets l² = 1.5 to get w < 1/3 from the Chebyshev bound (7).
+PAPER_L_SQUARED = 1.5
+
+
+def majority_adoption_probability(
+    n: int, k: int, ones: int, tie_break: str = "random"
+) -> float:
+    """w — probability one process adopts value 1 (eq. (1) of §4.1).
+
+    A process's view is a uniform random (n−k)-subset of the n per-phase
+    messages, of which ``ones`` carry value 1.  It adopts 1 iff the view
+    contains a majority of 1s.
+
+    Ties: when the view size n−k is even, a view can split exactly in
+    half.  The protocols as printed resolve ties toward 0 ("if
+    message_count(1) > message_count(0) then 1 else 0"), but the paper's
+    §4 analysis treats the balanced state as symmetric (w_{n/2} = 1/2 —
+    "processes can decide 0 or 1 with equal probability"), which
+    corresponds to a fair-coin tie-break.  Both are available:
+
+    * ``tie_break="random"`` (default, the §4 idealisation): a tied view
+      adopts 1 with probability 1/2;
+    * ``tie_break="zero"`` (protocol-faithful): a tied view adopts 0,
+      giving the chain a drift toward 0 that *accelerates* absorption —
+      so the paper's bounds still hold a fortiori.
+
+    Args:
+        n: total messages per phase (one per process).
+        k: messages *not* awaited (view size is n−k).
+        ones: how many of the n messages carry value 1.
+        tie_break: ``"random"`` or ``"zero"`` (see above).
+    """
+    if not 0 <= ones <= n:
+        raise ConfigurationError(f"ones={ones} out of range for n={n}")
+    sample = n - k
+    if sample <= 0:
+        raise ConfigurationError(f"view size n-k={sample} must be positive")
+    dist = stats.hypergeom(n, ones, sample)
+    # Strict majority: X > sample/2  ⇔  X ≥ ⌊sample/2⌋ + 1  ⇔  sf(⌊sample/2⌋).
+    w = float(dist.sf(sample // 2))
+    if tie_break == "random":
+        if sample % 2 == 0:
+            w += 0.5 * float(dist.pmf(sample // 2))
+    elif tie_break != "zero":
+        raise ConfigurationError(f"unknown tie_break mode {tie_break!r}")
+    return min(w, 1.0)
+
+
+def failstop_transition_matrix(
+    n: int, k: int, tie_break: str = "random"
+) -> np.ndarray:
+    """The raw P_{i,j} = Binomial(n, w_i) matrix of eq. (1), no absorbing rows."""
+    matrix = np.zeros((n + 1, n + 1))
+    support = np.arange(n + 1)
+    for i in range(n + 1):
+        w = majority_adoption_probability(n, k, i, tie_break)
+        matrix[i] = stats.binom(n, w).pmf(support)
+    # Guard against tiny negative values / drift from pmf evaluation.
+    matrix = np.clip(matrix, 0.0, None)
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    return matrix
+
+
+def paper_absorbing_states(n: int) -> list[int]:
+    """The declared absorbing set for k = n/3: [0, n/3) ∪ (2n/3, n]."""
+    if n % 3 != 0:
+        raise ConfigurationError(
+            f"the paper's §4.1 chain takes k = n/3; n={n} is not divisible by 3"
+        )
+    third = n // 3
+    return list(range(0, third)) + list(range(2 * third + 1, n + 1))
+
+
+def auto_absorbing_states(n: int, k: int, tie_break: str = "random") -> list[int]:
+    """States whose outcome is already deterministic (w ∈ {0, 1}).
+
+    A generalisation of the paper's declaration to arbitrary k: once every
+    possible view has a fixed majority the system collapses to all-0 or
+    all-1 and decisions follow; treating those states as absorbed changes
+    expected times by at most the O(1) tail the paper also ignores.
+    """
+    absorbing = []
+    for i in range(n + 1):
+        w = majority_adoption_probability(n, k, i, tie_break)
+        if w == 0.0 or w == 1.0:
+            absorbing.append(i)
+    return absorbing
+
+
+def failstop_chain(
+    n: int,
+    k: int | None = None,
+    absorbing: str = "paper",
+    tie_break: str = "random",
+) -> AbsorbingChain:
+    """Build the §4.1 chain as an :class:`AbsorbingChain`.
+
+    Args:
+        n: number of processes.
+        k: view shortfall; defaults to n/3 (the paper's choice).
+        absorbing: ``"paper"`` for the declared set (requires k = n/3 and
+            3 | n), ``"auto"`` for the deterministic-outcome set.
+        tie_break: see :func:`majority_adoption_probability`.
+    """
+    if k is None:
+        if n % 3 != 0:
+            raise ConfigurationError(
+                f"default k = n/3 needs 3 | n; got n={n} (or pass k explicitly)"
+            )
+        k = n // 3
+    matrix = failstop_transition_matrix(n, k, tie_break)
+    if absorbing == "paper":
+        if k != n // 3 or n % 3 != 0:
+            raise ConfigurationError(
+                "absorbing='paper' reproduces the k = n/3 declaration; "
+                f"got n={n}, k={k} — use absorbing='auto'"
+            )
+        states = paper_absorbing_states(n)
+    elif absorbing == "auto":
+        states = auto_absorbing_states(n, k, tie_break)
+    else:
+        raise ConfigurationError(f"unknown absorbing mode {absorbing!r}")
+    return AbsorbingChain(declare_absorbing(matrix, states), states)
+
+
+# ---------------------------------------------------------------------- #
+# The collapsed chain of eqs. (8)–(13)
+# ---------------------------------------------------------------------- #
+
+
+def collapsed_matrix_R(n: int, l: float | None = None) -> np.ndarray:
+    """Eq. (11): the pessimised 3-state chain over blocks {C, BD, AE}.
+
+    The paper partitions the states into A…E bands around n/2 with the
+    centre band C of half-width l√n/2, identifies each band with its
+    slowest representative, merges symmetric bands, and *further* slows
+    the chain by moving probability toward the centre.  The result is::
+
+            C                    BD                          AE
+        C ( 1 − 2Φ(l)            2Φ(l)                       0   )
+        BD( Φ((√n+3l)/√8)        1/2 − Φ((√n+3l)/√8)         1/2 )
+        AE( 0                    0                           1   )
+
+    Every entry of the true collapsed chain is stochastically dominated
+    by this matrix in the direction of slower absorption, so its expected
+    absorption time upper-bounds the original chain's.
+    """
+    if l is None:
+        l = math.sqrt(PAPER_L_SQUARED)
+    phi_l = phi_upper_tail(l)
+    phi_escape = phi_upper_tail((math.sqrt(n) + 3.0 * l) / math.sqrt(8.0))
+    return np.array(
+        [
+            [1.0 - 2.0 * phi_l, 2.0 * phi_l, 0.0],
+            [phi_escape, 0.5 - phi_escape, 0.5],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+
+
+def collapsed_chain(n: int, l: float | None = None) -> AbsorbingChain:
+    """Eq. (11)'s matrix wrapped as an absorbing chain (AE absorbing)."""
+    return AbsorbingChain(collapsed_matrix_R(n, l), absorbing=[2])
+
+
+def expected_phases_bound_eq13(n: int, l: float | None = None) -> float:
+    """Eq. (13): the closed-form bound on expected phases from band C.
+
+    (2Φ(l) + 1/2 + Φ((√n+3l)/√8)) / Φ(l); with l² = 1.5 this evaluates
+    below 7 for every n — the paper's headline "expected number of
+    phases is less than 7".
+    """
+    if l is None:
+        l = math.sqrt(PAPER_L_SQUARED)
+    phi_l = phi_upper_tail(l)
+    phi_escape = phi_upper_tail((math.sqrt(n) + 3.0 * l) / math.sqrt(8.0))
+    return (2.0 * phi_l + 0.5 + phi_escape) / phi_l
+
+
+def chebyshev_w_bound_eq7(l: float | None = None) -> float:
+    """Eq. (7): w_{n/2 − l√n/2 − 1} < 1/(2l²) via Chebyshev's inequality.
+
+    For l² = 1.5 this gives the w < 1/3 the paper quotes.  The tests
+    check the *exact* hypergeometric w against this bound across n.
+    """
+    if l is None:
+        l = math.sqrt(PAPER_L_SQUARED)
+    return 1.0 / (2.0 * l * l)
+
+
+def band_edge_state(n: int, l: float | None = None) -> int:
+    """The B-band representative ⌊n/2 − l√n/2 − 1⌋ used in eqs. (7)–(10)."""
+    if l is None:
+        l = math.sqrt(PAPER_L_SQUARED)
+    return int(math.floor(n / 2.0 - l * math.sqrt(n) / 2.0 - 1.0))

@@ -1,0 +1,183 @@
+"""The Section 4.2 Markov chain (malicious performance analysis).
+
+Section 4.2 analyses the Figure 2 protocol with k ≤ n/5 malicious
+processes, k = l√n/2, against the worst-case adversary: "the worst that
+the malicious processes can do is to try to balance the number of 1- and
+0-messages".  The state is i = number of *correct* processes holding
+value 1 (states 0 … n−k); the absorbing states are 0 … (n−3k)/2−1 and
+(n+k)/2+1 … n−k.
+
+Two transition matrices are provided:
+
+* :func:`malicious_transition_matrix_paper` — the literal eq. (1) of
+  §4.2: the balanced state behaves like §4.1's centre state, and a state
+  displaced by i ≥ k behaves like §4.1's state displaced by i − k (the
+  adversary absorbs up to k of displacement).
+* :func:`malicious_transition_matrix_first_principles` — derived directly
+  from the mechanism: the k malicious processes split their per-phase
+  messages into a ones and k−a zeros with a chosen to bring the total
+  ones count closest to n/2; each correct process then samples n−k of
+  the n messages and adopts the majority.  This adversary can only *add*
+  0 to k ones (it cannot remove correct messages), so its balancing reach
+  is one-sided — slightly weaker than the paper's symmetric idealisation.
+
+Both matrices produce the same qualitative behaviour (a diffusion-flat
+balanced core of width Θ(k) and expected absorption ≈ 1/(2Φ(l))); the
+benchmarks print them side by side.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.chains import AbsorbingChain, declare_absorbing
+from repro.analysis.failstop_chain import majority_adoption_probability
+from repro.analysis.normal import phi_upper_tail
+from repro.errors import ConfigurationError
+
+
+def _check_parameters(n: int, k: int) -> None:
+    if n <= 0 or k < 0:
+        raise ConfigurationError(f"invalid n={n}, k={k}")
+    if 5 * k > n:
+        raise ConfigurationError(
+            f"§4.2 restricts the analysis to k ≤ n/5; got n={n}, k={k}"
+        )
+    if (n - k) % 2 != 0 or n % 2 != 0:
+        raise ConfigurationError(
+            f"the §4.2 chain needs n and n−k even so the balanced state "
+            f"(n−k)/2 and centre n/2 are integers; got n={n}, k={k}"
+        )
+
+
+def l_for_k(n: int, k: int) -> float:
+    """Invert k = l√n/2: the paper's imbalance scale for a given k."""
+    return 2.0 * k / math.sqrt(n)
+
+
+def k_for_l(n: int, l: float) -> int:
+    """k = l√n/2, rounded to the nearest integer."""
+    return round(l * math.sqrt(n) / 2.0)
+
+
+def balanced_ones_total(n: int, k: int, correct_ones: int) -> int:
+    """Total 1s in the per-phase message pool under the balancing adversary.
+
+    The pool holds one message per process: ``correct_ones`` honest 1s,
+    (n−k−correct_ones) honest 0s, and k adversarial messages.  The
+    adversary sends a ∈ [0, k] ones, choosing a to bring the total as
+    close to n/2 as possible.
+    """
+    if not 0 <= correct_ones <= n - k:
+        raise ConfigurationError(
+            f"correct_ones={correct_ones} out of range for n−k={n - k}"
+        )
+    ideal = n // 2 - correct_ones
+    a = min(k, max(0, ideal))
+    return correct_ones + a
+
+
+def paper_effective_ones(n: int, k: int, state: int) -> int:
+    """Eq. (1) of §4.2: the §4.1 state this state is identified with.
+
+    With d = state − (n−k)/2: perfectly balanced (n/2) while |d| < k,
+    and displaced by |d| − k beyond — the adversary symmetrically absorbs
+    up to k of displacement in either direction.
+    """
+    centre = (n - k) // 2
+    d = state - centre
+    if abs(d) < k:
+        return n // 2
+    shift = (abs(d) - k) * (1 if d > 0 else -1)
+    return max(0, min(n, n // 2 + shift))
+
+
+def _transition_matrix(
+    n: int, k: int, ones_of_state, tie_break: str = "random"
+) -> np.ndarray:
+    m = n - k
+    matrix = np.zeros((m + 1, m + 1))
+    support = np.arange(m + 1)
+    for state in range(m + 1):
+        ones = ones_of_state(state)
+        w = majority_adoption_probability(n, k, ones, tie_break)
+        matrix[state] = stats.binom(m, w).pmf(support)
+    matrix = np.clip(matrix, 0.0, None)
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    return matrix
+
+
+def malicious_transition_matrix_paper(
+    n: int, k: int, tie_break: str = "random"
+) -> np.ndarray:
+    """The literal eq. (1) matrix of §4.2 (symmetric balancing reach k)."""
+    _check_parameters(n, k)
+    return _transition_matrix(
+        n, k, lambda s: paper_effective_ones(n, k, s), tie_break
+    )
+
+
+def malicious_transition_matrix_first_principles(
+    n: int, k: int, tie_break: str = "random"
+) -> np.ndarray:
+    """The mechanistic matrix (adversary adds a ∈ [0, k] ones, one-sided)."""
+    _check_parameters(n, k)
+    return _transition_matrix(
+        n, k, lambda s: balanced_ones_total(n, k, s), tie_break
+    )
+
+
+def paper_absorbing_states(n: int, k: int) -> list[int]:
+    """§4.2's declared absorbing set: [0, (n−3k)/2) ∪ ((n+k)/2, n−k]."""
+    m = n - k
+    low = [j for j in range(m + 1) if j < (n - 3 * k) / 2]
+    high = [j for j in range(m + 1) if j > (n + k) / 2]
+    return low + high
+
+
+def malicious_chain(
+    n: int, k: int, model: str = "paper", tie_break: str = "random"
+) -> AbsorbingChain:
+    """Build the §4.2 chain as an :class:`AbsorbingChain`.
+
+    Args:
+        n: number of processes.
+        k: number of malicious processes (k ≤ n/5, n and n−k even).
+        model: ``"paper"`` for the literal eq. (1), ``"mechanistic"`` for
+            the first-principles adversary.
+    """
+    if model == "paper":
+        matrix = malicious_transition_matrix_paper(n, k, tie_break)
+    elif model == "mechanistic":
+        matrix = malicious_transition_matrix_first_principles(n, k, tie_break)
+    else:
+        raise ConfigurationError(f"unknown model {model!r}")
+    states = paper_absorbing_states(n, k)
+    return AbsorbingChain(declare_absorbing(matrix, states), states)
+
+
+def one_step_absorption_estimate(n: int, k: int) -> float:
+    """Eq. (2) of §4.2: from the balanced state, ≈ 2Φ(l) per phase.
+
+    At the balanced state every process adopts 1 with probability 1/2,
+    so the next state is Binomial(n−k, 1/2); it is absorbing when it
+    deviates from the mean (n−k)/2 by more than ≈ k = l√n/2, a ≈ l-sigma
+    event on each side.
+    """
+    return 2.0 * phi_upper_tail(l_for_k(n, k))
+
+
+def expected_phases_bound_42(l: float) -> float:
+    """§4.2's bound: expected transitions to absorption ≤ 1/(2Φ(l)).
+
+    Geometric-trials bound: if every phase (from anywhere in the core)
+    absorbs with probability ≥ 2Φ(l), the expectation is at most the
+    inverse.  Constant whenever l is constant — i.e. for k = O(√n); and
+    for k = o(√n), l → 0 makes the bound approach 1/(2·Φ(0)) = 1.
+    """
+    if l < 0:
+        raise ConfigurationError(f"l must be nonnegative, got {l}")
+    return 1.0 / (2.0 * phi_upper_tail(l))

@@ -1,0 +1,45 @@
+"""The paper's Φ function and normal-tail approximation.
+
+Section 4 defines Φ(x) = (1/√(2π)) ∫ₓ^∞ e^{−t²/2} dt — the *upper* tail
+of the standard normal distribution (the printed prefactor "1/2π" is a
+typo for 1/√(2π); with 1/2π, Φ(0) would be ≈ 0.199 and the matrix row
+[1−2Φ(l), 2Φ(l), 0] of eq. (11) would not be a probability row for small
+l.  All of the paper's numeric conclusions — e.g. M_{B,A} > Φ(0) = 1/2 in
+eq. (10) — require Φ(0) = 1/2, i.e. the standard normal tail).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def phi_upper_tail(x: float) -> float:
+    """Φ(x): probability a standard normal exceeds ``x``.
+
+    Implemented via the complementary error function for numerical
+    stability in the far tail (the paper evaluates Φ((√n + 3l)/√8),
+    which is astronomically small for realistic n).
+    """
+    return 0.5 * math.erfc(x / math.sqrt(2.0))
+
+
+def normal_tail_approximation(n: int, p: float, j: float) -> float:
+    """Eq. (2): Pr[X ≥ j] ≈ Φ((j − np)/√(np(1−p))) for X ~ Binomial(n, p).
+
+    The paper uses this to approximate binomial tails when collapsing the
+    chain; the exact chain code does not need it, but the closed-form
+    bounds do, and the tests compare it against scipy's exact tail.
+
+    Args:
+        n: number of Bernoulli trials.
+        p: per-trial success probability (0 < p < 1 for a finite z-score).
+        j: threshold, with j ≥ np for the approximation to be on the tail
+            the paper uses it for.
+    """
+    if not 0.0 < p < 1.0:
+        # Degenerate: the tail is exactly 0 or 1.
+        if p <= 0.0:
+            return 0.0 if j > 0 else 1.0
+        return 1.0 if j <= n else 0.0
+    z = (j - n * p) / math.sqrt(n * p * (1.0 - p))
+    return phi_upper_tail(z)

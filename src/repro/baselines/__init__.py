@@ -1,0 +1,24 @@
+"""Baseline protocols the paper compares against.
+
+[BenO83] — M. Ben-Or, "Another advantage of free choice: Completely
+asynchronous agreement protocols" — is the paper's main point of
+comparison (Sections 1 and 6): randomization inside the *protocol*
+(local coin flips) instead of the Bracha–Toueg approach of a
+probabilistic assumption on the *message system*.
+"""
+
+from repro.baselines.benor import BenOrConsensus, BenOrReport, BenOrProposal
+from repro.baselines.initially_dead import (
+    InitiallyDeadConsensus,
+    InitiallyDeadProcess,
+    agreed_bivalent_function,
+)
+
+__all__ = [
+    "BenOrConsensus",
+    "BenOrReport",
+    "BenOrProposal",
+    "InitiallyDeadConsensus",
+    "InitiallyDeadProcess",
+    "agreed_bivalent_function",
+]

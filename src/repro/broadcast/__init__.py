@@ -1,0 +1,19 @@
+"""Reliable broadcast — the follow-on primitive Figure 2 prefigures."""
+
+from repro.broadcast.rbc import (
+    RbcSend,
+    RbcEcho,
+    RbcReady,
+    ReliableBroadcastProcess,
+    EquivocatingBroadcaster,
+)
+from repro.broadcast.agreement import BrachaAgreementProcess
+
+__all__ = [
+    "RbcSend",
+    "RbcEcho",
+    "RbcReady",
+    "ReliableBroadcastProcess",
+    "EquivocatingBroadcaster",
+    "BrachaAgreementProcess",
+]

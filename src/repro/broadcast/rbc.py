@@ -1,0 +1,209 @@
+"""Bracha reliable broadcast: the lineage of Figure 2's echo mechanism.
+
+The initial/echo pattern of Figure 2 is the direct ancestor of Bracha's
+reliable broadcast (Bracha 1987, "Asynchronous Byzantine agreement
+protocols"), which adds a *ready* amplification layer and is the
+building block of modern asynchronous BFT systems (HoneyBadgerBFT and
+its descendants).  This module implements it over the same simulation
+substrate as an extension, to make the lineage executable:
+
+* the designated broadcaster sends ``Send(v)`` to all;
+* on the first ``Send(v)`` from the broadcaster: send ``Echo(v)`` to all;
+* on ⌈(n+t+1)/2⌉ ``Echo(v)``, or t+1 ``Ready(v)``: send ``Ready(v)``
+  to all (once);
+* on 2t+1 ``Ready(v)``: *deliver* v.
+
+Guarantees with n > 3t (the same bound as Theorem 3/4):
+
+* validity — a correct broadcaster's value is delivered by all correct
+  processes;
+* agreement — no two correct processes deliver different values;
+* totality — if any correct process delivers, every correct process
+  eventually delivers.
+
+A Byzantine broadcaster can equivocate; the echo quorum intersection
+then guarantees at most one value can ever gather a ready quorum —
+either nobody delivers, or everybody delivers the same value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.message import Envelope
+from repro.procs.base import Process, Send
+
+
+@dataclass(frozen=True, slots=True)
+class RbcSend:
+    """The broadcaster's message: ``Send(value)``."""
+
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class RbcEcho:
+    """First-tier relay: "I received ``Send(value)`` from the broadcaster"."""
+
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class RbcReady:
+    """Second-tier amplification: "a quorum stands behind ``value``"."""
+
+    value: Any
+
+
+class ReliableBroadcastProcess(Process):
+    """One correct participant in a single-shot reliable broadcast.
+
+    Args:
+        pid: this process's id.
+        n: total number of processes.
+        t: maximum number of Byzantine processes; requires n > 3t.
+        broadcaster: pid of the designated sender.
+        value: the value to broadcast (only used when
+            ``pid == broadcaster``).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        broadcaster: int,
+        value: Any = None,
+    ) -> None:
+        super().__init__(pid, n)
+        if t < 0 or n <= 3 * t:
+            raise ConfigurationError(
+                f"reliable broadcast needs n > 3t; got n={n}, t={t}"
+            )
+        if not 0 <= broadcaster < n:
+            raise ConfigurationError(f"broadcaster {broadcaster} out of range")
+        self.t = t
+        self.broadcaster = broadcaster
+        self.value = value
+        self.input_value = value if isinstance(value, int) and value in (0, 1) else 0
+        self.delivered: Any = None
+        self.has_delivered = False
+        self._echoed = False
+        self._readied = False
+        self._echo_senders: dict[Any, set[int]] = {}
+        self._ready_senders: dict[Any, set[int]] = {}
+        self.echo_quorum = math.ceil((n + t + 1) / 2)
+        self.ready_amplify = t + 1
+        self.ready_deliver = 2 * t + 1
+
+    # ------------------------------------------------------------------ #
+    # Atomic steps
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> list[Send]:
+        if self.pid == self.broadcaster:
+            return self._broadcast(RbcSend(self.value))
+        return []
+
+    def step(self, envelope: Optional[Envelope]) -> list[Send]:
+        if envelope is None or self.exited:
+            return []
+        sends: list[Send] = []
+        payload = envelope.payload
+        if isinstance(payload, RbcSend):
+            self._on_send(envelope.sender, payload, sends)
+        elif isinstance(payload, RbcEcho):
+            self._on_echo(envelope.sender, payload, sends)
+        elif isinstance(payload, RbcReady):
+            self._on_ready(envelope.sender, payload, sends)
+        return sends
+
+    # ------------------------------------------------------------------ #
+    # Protocol rules
+    # ------------------------------------------------------------------ #
+
+    def _on_send(self, sender: int, message: RbcSend, sends: list[Send]) -> None:
+        if sender != self.broadcaster or self._echoed:
+            return
+        self._echoed = True
+        sends.extend(self._broadcast(RbcEcho(message.value)))
+
+    def _on_echo(self, sender: int, message: RbcEcho, sends: list[Send]) -> None:
+        senders = self._echo_senders.setdefault(message.value, set())
+        if sender in senders:
+            return
+        senders.add(sender)
+        if len(senders) >= self.echo_quorum:
+            self._send_ready(message.value, sends)
+
+    def _on_ready(self, sender: int, message: RbcReady, sends: list[Send]) -> None:
+        senders = self._ready_senders.setdefault(message.value, set())
+        if sender in senders:
+            return
+        senders.add(sender)
+        if len(senders) >= self.ready_amplify:
+            self._send_ready(message.value, sends)
+        if len(senders) >= self.ready_deliver and not self.has_delivered:
+            self.delivered = message.value
+            self.has_delivered = True
+            if message.value in (0, 1):
+                # Reuse the decision register for binary payloads so the
+                # standard result validation applies.
+                self._decide(message.value)
+            self.exited = True
+
+    def _send_ready(self, value: Any, sends: list[Send]) -> None:
+        if self._readied:
+            return
+        self._readied = True
+        sends.extend(self._broadcast(RbcReady(value)))
+
+
+class EquivocatingBroadcaster(Process):
+    """A Byzantine broadcaster that sends different values to each half.
+
+    Used by the tests to check the agreement/totality guarantees: with
+    n > 3t, either no correct process delivers, or all deliver the same
+    one of the two values — never a split.
+    """
+
+    is_correct = False
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        value_low: Any = 0,
+        value_high: Any = 1,
+        split_at: int | None = None,
+    ) -> None:
+        super().__init__(pid, n)
+        self.value_low = value_low
+        self.value_high = value_high
+        # Where the lie changes: recipients below get value_low, the rest
+        # value_high.  An even split starves both echo quorums (nobody
+        # delivers); a lopsided one lets the bigger camp's value win and
+        # totality carries it to everyone.
+        self.split_at = n // 2 if split_at is None else split_at
+        self.input_value = 0
+
+    def start(self) -> list[Send]:
+        sends = [
+            Send(
+                recipient,
+                RbcSend(
+                    self.value_low
+                    if recipient < self.split_at
+                    else self.value_high
+                ),
+            )
+            for recipient in range(self.n)
+        ]
+        self.exited = True
+        return sends
+
+    def step(self, envelope: Optional[Envelope]) -> list[Send]:
+        return []

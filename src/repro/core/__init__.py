@@ -1,0 +1,47 @@
+"""The paper's consensus protocols.
+
+* :mod:`repro.core.fail_stop` — the ⌊(n−1)/2⌋-resilient protocol of
+  Figure 1 (witness/cardinality mechanism).
+* :mod:`repro.core.malicious` — the ⌊(n−1)/3⌋-resilient protocol of
+  Figure 2 (initial/echo broadcast).
+* :mod:`repro.core.simple_majority` — the echo-less variant analysed in
+  Section 4.1.
+"""
+
+from repro.core.messages import (
+    STAR,
+    FailStopMessage,
+    InitialMessage,
+    EchoMessage,
+    SimpleMessage,
+)
+from repro.core.common import (
+    acceptance_threshold,
+    decision_threshold,
+    witness_cardinality_threshold,
+    max_failstop_resilience,
+    max_malicious_resilience,
+    validate_failstop_parameters,
+    validate_malicious_parameters,
+)
+from repro.core.fail_stop import FailStopConsensus
+from repro.core.malicious import MaliciousConsensus
+from repro.core.simple_majority import SimpleMajorityConsensus
+
+__all__ = [
+    "STAR",
+    "FailStopMessage",
+    "InitialMessage",
+    "EchoMessage",
+    "SimpleMessage",
+    "acceptance_threshold",
+    "decision_threshold",
+    "witness_cardinality_threshold",
+    "max_failstop_resilience",
+    "max_malicious_resilience",
+    "validate_failstop_parameters",
+    "validate_malicious_parameters",
+    "FailStopConsensus",
+    "MaliciousConsensus",
+    "SimpleMajorityConsensus",
+]

@@ -1,0 +1,90 @@
+"""Shared thresholds and parameter validation for the paper's protocols.
+
+The paper states its thresholds as strict inequalities over possibly
+fractional quantities ("more than (n+k)/2", "cardinality greater than
+n/2").  These helpers centralise the integer-exact translations so every
+protocol, analysis module, and test uses literally the same arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def strictly_more_than_half(total: int) -> int:
+    """Smallest integer strictly greater than ``total / 2``."""
+    return total // 2 + 1
+
+
+def witness_cardinality_threshold(n: int) -> int:
+    """Minimum cardinality making a Figure 1 message a *witness*.
+
+    Figure 1: "if msg.cardinality > n/2" — i.e. cardinality at least
+    ⌊n/2⌋ + 1.
+    """
+    return strictly_more_than_half(n)
+
+
+def acceptance_threshold(n: int, k: int) -> int:
+    """Echo count needed to *accept* a value in Figure 2.
+
+    Figure 2 accepts a message from q with value i once more than
+    (n+k)/2 echoes ``(echo, q, i, t)`` have arrived — i.e. at least
+    ⌊(n+k)/2⌋ + 1 of them.
+    """
+    return strictly_more_than_half(n + k)
+
+
+def decision_threshold(n: int, k: int) -> int:
+    """Accepted-message count needed to *decide* in Figure 2 and §4.1.
+
+    Both the malicious protocol and the simple-majority variant decide a
+    value i upon more than (n+k)/2 (accepted) messages with value i.
+    """
+    return strictly_more_than_half(n + k)
+
+
+def max_failstop_resilience(n: int) -> int:
+    """⌊(n−1)/2⌋ — the optimal fail-stop resilience (Theorems 1 and 2)."""
+    return (n - 1) // 2
+
+
+def max_malicious_resilience(n: int) -> int:
+    """⌊(n−1)/3⌋ — the optimal malicious resilience (Theorems 3 and 4)."""
+    return (n - 1) // 3
+
+
+def _validate(n: int, k: int, bound: int, case_name: str, allow_excessive_k: bool) -> None:
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got n={n}")
+    if k < 0:
+        raise ConfigurationError(f"need k >= 0, got k={k}")
+    if k >= n:
+        raise ConfigurationError(
+            f"k={k} faulty of n={n} leaves no correct process"
+        )
+    if k > bound and not allow_excessive_k:
+        raise ConfigurationError(
+            f"k={k} exceeds the {case_name} resilience bound "
+            f"{bound} for n={n}; pass allow_excessive_k=True only for "
+            "deliberate lower-bound experiments"
+        )
+
+
+def validate_failstop_parameters(
+    n: int, k: int, allow_excessive_k: bool = False
+) -> None:
+    """Check (n, k) against the fail-stop bound k ≤ ⌊(n−1)/2⌋."""
+    _validate(n, k, max_failstop_resilience(n), "fail-stop", allow_excessive_k)
+
+
+def validate_malicious_parameters(
+    n: int, k: int, allow_excessive_k: bool = False
+) -> None:
+    """Check (n, k) against the malicious bound k ≤ ⌊(n−1)/3⌋."""
+    _validate(n, k, max_malicious_resilience(n), "malicious", allow_excessive_k)
+
+
+def majority_value(count_zero: int, count_one: int) -> int:
+    """Figure 1/2 tie-break: value 1 only on a strict majority of 1s."""
+    return 1 if count_one > count_zero else 0

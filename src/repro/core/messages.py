@@ -1,0 +1,95 @@
+"""Protocol message types for the paper's three protocols.
+
+All payloads are small frozen dataclasses; they are *content*, distinct
+from the transport :class:`~repro.net.message.Envelope` that carries them
+(whose ``sender`` field is authenticated by the message system).
+
+The special phase value :data:`STAR` implements the exit device of
+Section 3.3: a decided process broadcasts messages whose phase field is
+``*``; receivers treat such a message as matching *every* phase and
+re-send it to themselves after consuming it, so it keeps counting in all
+future phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+class _PhaseStar:
+    """Singleton sentinel for the wildcard phase ``*`` of Section 3.3."""
+
+    _instance: "_PhaseStar | None" = None
+
+    def __new__(cls) -> "_PhaseStar":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+    def __reduce__(self):
+        # Preserve singleton identity across copy/deepcopy/pickle, which the
+        # bounded model checker relies on when cloning configurations.
+        return (_PhaseStar, ())
+
+
+STAR = _PhaseStar()
+
+#: A phase field: a concrete phase number or the wildcard ``*``.
+Phase = Union[int, _PhaseStar]
+
+
+@dataclass(frozen=True, slots=True)
+class FailStopMessage:
+    """The ``(phaseno, value, cardinality)`` message of Figure 1.
+
+    ``cardinality`` is the size of the sender's message set for ``value``
+    at the end of its previous phase; a message whose cardinality exceeds
+    n/2 is a *witness* for its value.
+    """
+
+    phaseno: int
+    value: int
+    cardinality: int
+
+
+@dataclass(frozen=True, slots=True)
+class InitialMessage:
+    """The ``(initial, p, value, phaseno)`` message of Figure 2.
+
+    ``origin`` is the process claiming to speak.  Correct receivers only
+    honour an initial message whose transport sender equals ``origin``
+    (Section 3.1's sender authentication); otherwise one malicious process
+    could impersonate the whole system.
+    """
+
+    origin: int
+    value: int
+    phaseno: Phase
+
+
+@dataclass(frozen=True, slots=True)
+class EchoMessage:
+    """The ``(echo, q, value, phaseno)`` message of Figure 2.
+
+    An echo claims "process ``origin`` said ``value`` in phase
+    ``phaseno``".  Unlike initial messages the origin is *not* required to
+    match the transport sender — relaying other processes' claims is the
+    whole point — which is why acceptance requires more than (n+k)/2
+    matching echoes from distinct senders.
+    """
+
+    origin: int
+    value: int
+    phaseno: Phase
+
+
+@dataclass(frozen=True, slots=True)
+class SimpleMessage:
+    """The ``(phaseno, value)`` message of the Section 4.1 variant."""
+
+    phaseno: int
+    value: int

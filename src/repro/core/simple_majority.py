@@ -1,0 +1,176 @@
+"""The echo-less protocol variant analysed in Section 4.1.
+
+Section 4.1 opens: "We analyze a simple variant of the protocol in
+Fig. 2 [...] In each phase processes send each other their value, and
+wait for n−k messages.  Processes change their values to the majority of
+the received message values, and decide a value when receiving more than
+(n+k)/2 messages with that value."
+
+This is exactly the protocol whose execution Section 4.1 models as the
+Markov chain P with transition probabilities
+P_{i,j} = C(n, j)·w_i^j·(1−w_i)^{n−j}: when i processes hold value 1 and
+every process independently sees a uniformly random (n−k)-subset of the n
+per-phase messages, each process adopts 1 with probability w_i (the
+hypergeometric tail), so the next state is Binomial(n, w_i).
+
+Against *fail-stop* faults the variant inherits Figure 2's consistency
+argument (quorum intersection of the > (n+k)/2 decision sets with the
+n−k views), which is why the paper uses it for the fail-stop performance
+analysis.  It has no echo layer, so an equivocating malicious process can
+break it — a property the adversarial tests demonstrate, motivating the
+echo machinery of Figure 2.
+
+Like Figure 2 as printed, the variant never exits; simulations halt when
+every correct process has decided.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.common import (
+    decision_threshold,
+    majority_value,
+    validate_malicious_parameters,
+)
+from repro.core.messages import SimpleMessage
+from repro.errors import InvariantViolation
+from repro.net.message import Envelope
+from repro.procs.base import Process, Send
+
+
+class SimpleMajorityConsensus(Process):
+    """One process running the Section 4.1 simple-majority variant.
+
+    Args:
+        pid: this process's id.
+        n: total number of processes.
+        k: resilience parameter; the variant targets k ≤ ⌊(n−1)/3⌋
+            (it is "a ⌊(n−1)/3⌋-resilient protocol" per Section 4.1).
+        input_value: the initial value i_p ∈ {0, 1}.
+        allow_excessive_k: skip the bound check (lower-bound scenarios —
+            the Theorem 3 replay construction drives this very protocol
+            past its bound to exhibit disagreement).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        k: int,
+        input_value: int,
+        allow_excessive_k: bool = False,
+    ) -> None:
+        super().__init__(pid, n)
+        validate_malicious_parameters(n, k, allow_excessive_k)
+        if input_value not in (0, 1):
+            raise InvariantViolation(
+                f"input value must be 0 or 1, got {input_value!r}"
+            )
+        self.k = k
+        self.input_value = input_value
+        self.value = input_value
+        self.phaseno = 0
+        self.message_count = [0, 0]
+        # One counted message per sender per phase: a fail-stop sender
+        # sends at most one value per phase anyway; deduplication matters
+        # only when this protocol is (deliberately) run with equivocating
+        # malicious processes.
+        self._counted_senders: set[int] = set()
+        self._deferred: list[SimpleMessage] = []
+        self._decide_at = decision_threshold(n, k)
+
+    # ------------------------------------------------------------------ #
+    # Atomic steps
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> list[Send]:
+        """Open phase 0: broadcast ``(0, i_p)``."""
+        return self._phase_open_sends()
+
+    def _phase_open_sends(self) -> list[Send]:
+        """Sends that open the current phase (Byzantine subclass hook)."""
+        return self._broadcast(
+            SimpleMessage(phaseno=self.phaseno, value=self.value)
+        )
+
+    def step(self, envelope: Optional[Envelope]) -> list[Send]:
+        """Receive one message (or φ); count, defer, or drop it."""
+        if envelope is None or self.exited:
+            return []
+        message = envelope.payload
+        if not isinstance(message, SimpleMessage) or message.value not in (0, 1):
+            return []
+        sends: list[Send] = []
+        if message.phaseno == self.phaseno:
+            self._count(envelope.sender, message)
+            if self._phase_complete():
+                self._advance_phases(sends)
+        elif message.phaseno > self.phaseno:
+            self._deferred.append(self._stamped(envelope.sender, message))
+        return sends
+
+    # ------------------------------------------------------------------ #
+    # Protocol logic
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _stamped(sender: int, message: SimpleMessage):
+        return (sender, message)
+
+    def _count(self, sender: int, message: SimpleMessage) -> None:
+        if sender in self._counted_senders:
+            return
+        self._counted_senders.add(sender)
+        self.message_count[message.value] += 1
+
+    def _phase_complete(self) -> bool:
+        return self.message_count[0] + self.message_count[1] >= self.n - self.k
+
+    def _advance_phases(self, sends: list[Send]) -> None:
+        while True:
+            self.value = majority_value(self.message_count[0], self.message_count[1])
+            for candidate in (0, 1):
+                if self.message_count[candidate] >= self._decide_at:
+                    self._decide(candidate)
+            self.phaseno += 1
+            self.message_count = [0, 0]
+            self._counted_senders = set()
+            sends.extend(self._phase_open_sends())
+            if not self._replay_deferred():
+                return
+
+    def _replay_deferred(self) -> bool:
+        if not self._deferred:
+            return False
+        still_deferred = []
+        completed = False
+        for sender, message in self._deferred:
+            if message.phaseno < self.phaseno:
+                continue  # went stale while deferred
+            if message.phaseno > self.phaseno or completed:
+                still_deferred.append((sender, message))
+                continue
+            self._count(sender, message)
+            if self._phase_complete():
+                completed = True
+        self._deferred = still_deferred
+        return completed
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def state_key(self) -> tuple:
+        """Hashable snapshot of the protocol state (for exhaustive search)."""
+        return (
+            self.value,
+            self.phaseno,
+            tuple(self.message_count),
+            tuple(sorted(self._counted_senders)),
+            tuple(sorted(
+                (s, m.phaseno, m.value) for s, m in self._deferred
+            )),
+            self.exited,
+            self.decision.get(),
+        )

@@ -1,0 +1,24 @@
+"""Fault injection: fail-stop crash plans and Byzantine strategies."""
+
+from repro.faults.crash import CrashableProcess, crash_plan
+from repro.faults.byzantine import (
+    SilentByzantine,
+    RandomNoiseByzantine,
+    BalancingEchoByzantine,
+    EquivocatingEchoByzantine,
+    AntiMajorityEchoByzantine,
+    BalancingSimpleByzantine,
+    EquivocatingSimpleByzantine,
+)
+
+__all__ = [
+    "CrashableProcess",
+    "crash_plan",
+    "SilentByzantine",
+    "RandomNoiseByzantine",
+    "BalancingEchoByzantine",
+    "EquivocatingEchoByzantine",
+    "AntiMajorityEchoByzantine",
+    "BalancingSimpleByzantine",
+    "EquivocatingSimpleByzantine",
+]

@@ -1,0 +1,37 @@
+"""Experiment harness: builders, workloads, statistics, tables, registry."""
+
+from repro.harness.builders import (
+    build_failstop_processes,
+    build_malicious_processes,
+    build_simple_majority_processes,
+    build_benor_processes,
+    parse_inputs,
+)
+from repro.harness.workloads import (
+    unanimous_inputs,
+    split_inputs,
+    balanced_inputs,
+    random_inputs,
+    supermajority_inputs,
+)
+from repro.harness.stats import SummaryStats, summarize
+from repro.harness.tables import render_table
+from repro.harness.runner import ExperimentRunner, ReplicatedRuns
+
+__all__ = [
+    "build_failstop_processes",
+    "build_malicious_processes",
+    "build_simple_majority_processes",
+    "build_benor_processes",
+    "parse_inputs",
+    "unanimous_inputs",
+    "split_inputs",
+    "balanced_inputs",
+    "random_inputs",
+    "supermajority_inputs",
+    "SummaryStats",
+    "summarize",
+    "render_table",
+    "ExperimentRunner",
+    "ReplicatedRuns",
+]

@@ -1,0 +1,154 @@
+"""Convenience constructors for whole process ensembles.
+
+Examples, tests, and benchmarks all assemble the same shapes: n
+processes of one protocol, some crashed, some Byzantine.  These builders
+centralise that assembly so every entry point configures runs the same
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.baselines.benor import BenOrConsensus
+from repro.core.fail_stop import FailStopConsensus
+from repro.core.malicious import MaliciousConsensus
+from repro.core.simple_majority import SimpleMajorityConsensus
+from repro.errors import ConfigurationError
+from repro.faults.crash import CrashableProcess
+from repro.procs.base import Process
+
+#: A Byzantine factory: (pid, n, k, input_value) → Process.
+ByzantineFactory = Callable[[int, int, int, int], Process]
+
+
+def parse_inputs(inputs: Sequence[int] | str, n: int) -> list[int]:
+    """Accept ``[0, 1, 1]`` or the string ``"011"``; validate length/domain."""
+    if isinstance(inputs, str):
+        values = [int(ch) for ch in inputs]
+    else:
+        values = list(inputs)
+    if len(values) != n:
+        raise ConfigurationError(
+            f"inputs have length {len(values)}, expected n={n}"
+        )
+    if any(v not in (0, 1) for v in values):
+        raise ConfigurationError(f"inputs must be 0/1, got {values!r}")
+    return values
+
+
+def _apply_crashes(
+    processes: list[Process], crashes: Optional[dict[int, dict]]
+) -> list[Process]:
+    if not crashes:
+        return processes
+    for pid, kwargs in crashes.items():
+        processes[pid] = CrashableProcess(processes[pid], **kwargs)
+    return processes
+
+
+def build_failstop_processes(
+    n: int,
+    k: int,
+    inputs: Sequence[int] | str,
+    crashes: Optional[dict[int, dict]] = None,
+    **protocol_kwargs,
+) -> list[Process]:
+    """Figure 1 ensemble, with optional crash plans.
+
+    Args:
+        n, k: protocol parameters (k ≤ ⌊(n−1)/2⌋ unless overridden via
+            ``allow_excessive_k`` in ``protocol_kwargs``).
+        inputs: per-process initial values.
+        crashes: pid → :class:`~repro.faults.crash.CrashableProcess`
+            kwargs; at most k victims is the supported regime.
+    """
+    values = parse_inputs(inputs, n)
+    if crashes and len(crashes) > k and not protocol_kwargs.get("allow_excessive_k"):
+        raise ConfigurationError(
+            f"{len(crashes)} crash victims exceed the resilience k={k}"
+        )
+    processes: list[Process] = [
+        FailStopConsensus(pid, n, k, values[pid], **protocol_kwargs)
+        for pid in range(n)
+    ]
+    return _apply_crashes(processes, crashes)
+
+
+def build_malicious_processes(
+    n: int,
+    k: int,
+    inputs: Sequence[int] | str,
+    byzantine: Optional[dict[int, ByzantineFactory]] = None,
+    crashes: Optional[dict[int, dict]] = None,
+    **protocol_kwargs,
+) -> list[Process]:
+    """Figure 2 ensemble with Byzantine processes substituted in.
+
+    Args:
+        byzantine: pid → factory (e.g. the classes in
+            :mod:`repro.faults.byzantine`); at most k of them is the
+            supported regime.
+        crashes: additionally crash some *correct* processes (a crash is
+            a legal malicious behaviour, so victims count against k too).
+    """
+    values = parse_inputs(inputs, n)
+    byzantine = byzantine or {}
+    total_faulty = len(byzantine) + (len(crashes) if crashes else 0)
+    if total_faulty > k and not protocol_kwargs.get("allow_excessive_k"):
+        raise ConfigurationError(
+            f"{total_faulty} faulty processes exceed the resilience k={k}"
+        )
+    processes: list[Process] = []
+    for pid in range(n):
+        if pid in byzantine:
+            processes.append(byzantine[pid](pid, n, k, values[pid]))
+        else:
+            processes.append(
+                MaliciousConsensus(pid, n, k, values[pid], **protocol_kwargs)
+            )
+    return _apply_crashes(processes, crashes)
+
+
+def build_simple_majority_processes(
+    n: int,
+    k: int,
+    inputs: Sequence[int] | str,
+    byzantine: Optional[dict[int, ByzantineFactory]] = None,
+    crashes: Optional[dict[int, dict]] = None,
+    **protocol_kwargs,
+) -> list[Process]:
+    """Section 4.1 variant ensemble (same shape as the Figure 2 builder)."""
+    values = parse_inputs(inputs, n)
+    byzantine = byzantine or {}
+    processes: list[Process] = []
+    for pid in range(n):
+        if pid in byzantine:
+            processes.append(byzantine[pid](pid, n, k, values[pid]))
+        else:
+            processes.append(
+                SimpleMajorityConsensus(pid, n, k, values[pid], **protocol_kwargs)
+            )
+    return _apply_crashes(processes, crashes)
+
+
+def build_benor_processes(
+    n: int,
+    t: int,
+    inputs: Sequence[int] | str,
+    fault_model: str = "fail-stop",
+    crashes: Optional[dict[int, dict]] = None,
+    byzantine: Optional[dict[int, ByzantineFactory]] = None,
+) -> list[Process]:
+    """Ben-Or baseline ensemble ([BenO83])."""
+    values = parse_inputs(inputs, n)
+    byzantine = byzantine or {}
+    processes: list[Process] = []
+    for pid in range(n):
+        if pid in byzantine:
+            processes.append(byzantine[pid](pid, n, t, values[pid]))
+        else:
+            processes.append(
+                BenOrConsensus(pid, n, t, values[pid], fault_model=fault_model)
+            )
+    return _apply_crashes(processes, crashes)

@@ -1,0 +1,109 @@
+"""Command-line entry point: ``repro-consensus``.
+
+Subcommands:
+
+* ``list`` — show the experiment registry (E1–E10) with titles.
+* ``run E3 [E4 ...]`` — run experiments and print their report tables.
+* ``demo`` — one quick consensus run of each protocol, narrated.
+
+The same experiment implementations back the pytest benchmarks; the CLI
+exists so a user can regenerate any paper artifact without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.harness.experiments import EXPERIMENTS
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for key in sorted(EXPERIMENTS, key=lambda k: int(k[1:])):
+        doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()[0]
+        print(f"{key.upper():4s} {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.tables import render_markdown, to_csv
+
+    status = 0
+    for raw in args.experiments:
+        key = raw.lower()
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {raw!r}; try `repro-consensus list`")
+            status = 2
+            continue
+        report = EXPERIMENTS[key]()
+        if args.format == "markdown":
+            print(f"### [{report.experiment_id}] {report.title}")
+            print(render_markdown(report.headers, report.rows))
+            for note in report.notes:
+                print(f"> {note}")
+        elif args.format == "csv":
+            print(to_csv(report.headers, report.rows), end="")
+        else:
+            print(report.render())
+        print()
+    return status
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.faults.byzantine import BalancingEchoByzantine
+    from repro.harness.builders import (
+        build_failstop_processes,
+        build_malicious_processes,
+    )
+    from repro.harness.workloads import balanced_inputs
+    from repro.sim.kernel import Simulation
+
+    print("Figure 1 (fail-stop), n=7, k=3, one mid-broadcast crash:")
+    processes = build_failstop_processes(
+        7, 3, balanced_inputs(7), crashes={0: {"crash_at_step": 3, "keep_sends": 2}}
+    )
+    result = Simulation(processes, seed=7).run()
+    print(" ", result.summary())
+
+    print("Figure 2 (malicious), n=7, k=2, balancing adversaries:")
+    processes = build_malicious_processes(
+        7, 2, balanced_inputs(7),
+        byzantine={5: BalancingEchoByzantine, 6: BalancingEchoByzantine},
+    )
+    result = Simulation(processes, seed=7).run(max_steps=3_000_000)
+    print(" ", result.summary())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``repro-consensus`` script)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-consensus",
+        description=(
+            "Reproduction harness for Bracha & Toueg, 'Resilient Consensus "
+            "Protocols' (PODC 1983)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list experiments").set_defaults(
+        func=_cmd_list
+    )
+    run_parser = subparsers.add_parser("run", help="run experiments by id")
+    run_parser.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
+    run_parser.add_argument(
+        "--format",
+        choices=("table", "markdown", "csv"),
+        default="table",
+        help="output format (default: aligned text table)",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+    subparsers.add_parser("demo", help="quick narrated demo").set_defaults(
+        func=_cmd_demo
+    )
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Replicated experiment execution.
+
+:class:`ExperimentRunner` runs one configuration across many seeds,
+validates every run (agreement + unanimous validity, unless the
+experiment deliberately breaks the model), and aggregates the metrics
+the paper talks about: phases to decision, steps, messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.errors import SimulationLimitError
+from repro.harness.stats import SummaryStats, summarize
+from repro.net.schedulers import Scheduler
+from repro.procs.base import Process
+from repro.sim.kernel import HaltPredicate, Simulation
+from repro.sim.results import RunResult
+
+#: Builds a fresh process list for a given seed.
+ProcessFactory = Callable[[int], Sequence[Process]]
+#: Builds a fresh scheduler for a given seed (schedulers keep state).
+SchedulerFactory = Callable[[int], Scheduler]
+
+
+@dataclass
+class ReplicatedRuns:
+    """Results of one configuration across seeds, plus aggregate views."""
+
+    results: list[RunResult] = field(default_factory=list)
+
+    def append(self, result: RunResult) -> None:
+        """Record one run's result."""
+        self.results.append(result)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded runs."""
+        return len(self.results)
+
+    def decision_phase_stats(self) -> SummaryStats:
+        """Stats over each run's *last* decision phase (system latency)."""
+        return summarize([max(r.phases_to_decide()) for r in self.results])
+
+    def first_decision_phase_stats(self) -> SummaryStats:
+        """Stats over each run's earliest decision phase."""
+        return summarize([min(r.phases_to_decide()) for r in self.results])
+
+    def steps_stats(self) -> SummaryStats:
+        """Stats over total atomic steps per run."""
+        return summarize([r.steps for r in self.results])
+
+    def messages_stats(self) -> SummaryStats:
+        """Stats over messages sent per run."""
+        return summarize([r.messages_sent for r in self.results])
+
+    def consensus_values(self) -> list[Optional[int]]:
+        """Each run's agreed value (None when a run reached no consensus)."""
+        return [r.consensus_value for r in self.results]
+
+    def agreement_rate(self) -> float:
+        """Fraction of runs with no agreement violation (should be 1.0)."""
+        return sum(r.agreement_holds for r in self.results) / len(self.results)
+
+
+class ExperimentRunner:
+    """Runs a (factory, scheduler, seeds) configuration with validation.
+
+    Args:
+        process_factory: seed → fresh processes.
+        scheduler_factory: seed → fresh scheduler, or None for the
+            default uniform random scheduler.
+        max_steps: per-run step budget.
+        validate: check agreement and unanimous validity on every run
+            (disable only for deliberate out-of-bounds experiments).
+        require_termination: raise if a run fails to reach its goal
+            within ``max_steps``.
+    """
+
+    def __init__(
+        self,
+        process_factory: ProcessFactory,
+        scheduler_factory: Optional[SchedulerFactory] = None,
+        max_steps: int = 1_000_000,
+        validate: bool = True,
+        require_termination: bool = True,
+        halt_when: Optional[HaltPredicate] = None,
+    ) -> None:
+        self.process_factory = process_factory
+        self.scheduler_factory = scheduler_factory
+        self.max_steps = max_steps
+        self.validate = validate
+        self.require_termination = require_termination
+        self.halt_when = halt_when
+
+    def run_one(self, seed: int) -> RunResult:
+        """Execute a single seeded run, with validation."""
+        scheduler = (
+            self.scheduler_factory(seed) if self.scheduler_factory else None
+        )
+        simulation = Simulation(
+            self.process_factory(seed),
+            scheduler=scheduler,
+            seed=seed,
+            halt_when=self.halt_when,
+        )
+        result = simulation.run(max_steps=self.max_steps)
+        if self.validate:
+            result.check_agreement()
+            result.check_unanimous_validity()
+        if self.require_termination and not result.all_correct_decided:
+            raise SimulationLimitError(
+                f"seed {seed}: run ended ({result.halt_reason.value}) with "
+                f"undecided correct processes after {result.steps} steps"
+            )
+        return result
+
+    def run_many(self, seeds: Sequence[int]) -> ReplicatedRuns:
+        """Execute every seed and return the aggregate."""
+        runs = ReplicatedRuns()
+        for seed in seeds:
+            runs.append(self.run_one(seed))
+        return runs

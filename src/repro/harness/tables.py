@@ -1,0 +1,83 @@
+"""Plain-text table rendering for benchmark output.
+
+The paper's evaluation is analytical; the benchmarks regenerate its
+quantities as aligned text tables (one per experiment) so paper-versus-
+measured comparisons can be read straight off the bench logs and pasted
+into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_markdown(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> str:
+    """Render a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ConfigurationError("every row must match the header width")
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def to_csv(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> str:
+    """Render rows as CSV text (for downstream plotting tools)."""
+    import csv
+    import io
+
+    if any(len(row) != len(headers) for row in rows):
+        raise ConfigurationError("every row must match the header width")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow([_format_cell(cell) for cell in row])
+    return buffer.getvalue()
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: column names.
+        rows: row cells; floats are shown with 4 significant digits.
+        title: optional heading printed above the table.
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ConfigurationError("every row must match the header width")
+    cells = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Executable forms of the paper's impossibility arguments.
+
+The paper's lower bounds (Theorems 1 and 3) and the bivalent-initial-
+configuration lemma (Lemma 2) are proofs about *all* protocols; code
+cannot re-prove them, but it can execute their constructions against the
+paper's own protocols and exhibit the dichotomy the theorems predict:
+
+* run a protocol with k beyond its bound and the proof's schedule
+  produces an actual safety violation (or, for quorum-based protocols,
+  permanent deadlock — the liveness face of the same impossibility);
+* run the identical schedule with k at the bound and the construction
+  arithmetically cannot be assembled / the violation never materialises.
+"""
+
+from repro.lowerbounds.partition import (
+    PartitionOutcome,
+    theorem1_partition_scenario,
+    partition_arithmetic,
+)
+from repro.lowerbounds.replay import (
+    ReplayOutcome,
+    theorem3_replay_scenario,
+    replay_arithmetic,
+)
+from repro.lowerbounds.model_checker import (
+    ExplorationResult,
+    explore_all_schedules,
+    reachable_decision_values,
+)
+from repro.lowerbounds.bivalence import (
+    BivalenceReport,
+    monte_carlo_reachable_values,
+    classify_bivalence,
+    ConstantProtocol,
+)
+
+__all__ = [
+    "PartitionOutcome",
+    "theorem1_partition_scenario",
+    "partition_arithmetic",
+    "ReplayOutcome",
+    "theorem3_replay_scenario",
+    "replay_arithmetic",
+    "ExplorationResult",
+    "explore_all_schedules",
+    "reachable_decision_values",
+    "BivalenceReport",
+    "monte_carlo_reachable_values",
+    "classify_bivalence",
+    "ConstantProtocol",
+]

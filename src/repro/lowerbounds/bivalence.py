@@ -1,0 +1,159 @@
+"""Section 5: the three interpretations of bivalence, operationalised.
+
+The paper distinguishes:
+
+* **strong bivalence** — both decision values reachable for *any* number
+  and distribution of faulty processes (within the decision-permitting
+  bounds);
+* **intermediate bivalence** (the paper's own) — both values reachable
+  when all processes are correct; a fixed decision is allowed once
+  faults are present ("a decision value should depend on the initial
+  input values of the processes, and not only on some aberrant behavior
+  of the faulty processes");
+* **weak bivalence** — both values reachable, but one of them possibly
+  only in executions *with* faulty processes.
+
+This module turns each interpretation into a checkable predicate over a
+protocol (Monte Carlo reachability over seeds; the exhaustive
+:mod:`~repro.lowerbounds.model_checker` gives certificates on small
+instances) and provides :class:`ConstantProtocol` as the degenerate
+contrast that fails all three.
+
+The footnote protocol of Section 5 (the [Fisc83]-modified construction
+overcoming *any* number of initially-dead processes under intermediate
+bivalence) is implemented in :mod:`repro.baselines.initially_dead`,
+completed from the paper's four-sentence sketch with an explicit safety
+argument (the heard-from graph is an objective fact; its in-closed
+subsets are self-certifying NO-evidence that cannot coexist with the
+all-n strong-connectivity YES-evidence).  E10 classifies it alongside
+the main protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.procs.base import Process, Send
+from repro.sim.kernel import Simulation
+
+
+class ConstantProtocol(Process):
+    """Decides 0 immediately, regardless of inputs.
+
+    Trivially consistent and convergent, and resilient to any number of
+    faults of any kind — but it violates every bivalence interpretation,
+    which is exactly why the paper's problem statement "rules out the
+    trivial case that the agreed value is fixed regardless of the
+    processes' initial input".
+    """
+
+    def __init__(self, pid: int, n: int, input_value: int = 0) -> None:
+        super().__init__(pid, n)
+        self.input_value = input_value
+
+    def start(self) -> list[Send]:
+        self._decide(0)
+        self.exited = True
+        return []
+
+    def step(self, envelope) -> list[Send]:
+        return []
+
+    def state_key(self) -> tuple:
+        """Hashable snapshot for the exhaustive explorer."""
+        return (self.decision.get(), self.exited)
+
+
+def monte_carlo_reachable_values(
+    factory: Callable[[int], Sequence[Process]],
+    seeds: Sequence[int],
+    max_steps: int = 300_000,
+) -> frozenset[int]:
+    """Decision values observed across seeded runs.
+
+    Args:
+        factory: seed → fresh pid-ordered process list (the seed lets the
+            factory also randomise fault placement if it wants to).
+        seeds: which runs to take.
+        max_steps: per-run budget.
+
+    Monte Carlo gives *positive* certificates only: a value in the result
+    is definitely reachable; absence is evidence, not proof (use the
+    exhaustive explorer for certificates on small instances).
+    """
+    observed: set[int] = set()
+    for seed in seeds:
+        simulation = Simulation(factory(seed), seed=seed)
+        result = simulation.run(max_steps=max_steps)
+        observed.update(result.decided_values)
+        if {0, 1} <= observed:
+            break
+    return frozenset(observed)
+
+
+@dataclass(frozen=True)
+class BivalenceReport:
+    """Which bivalence interpretations a protocol satisfies (empirically).
+
+    Attributes:
+        values_all_correct: decisions reachable with every process correct.
+        values_with_faults: decisions reachable with the fault pattern
+            supplied to :func:`classify_bivalence`.
+        strong: bivalent in both regimes.
+        intermediate: bivalent when all correct (the paper's definition).
+        weak: bivalent over the union of both regimes.
+    """
+
+    values_all_correct: frozenset[int]
+    values_with_faults: frozenset[int]
+
+    @property
+    def strong(self) -> bool:
+        """Bivalent both with and without faults (§5's strong reading)."""
+        return (
+            {0, 1} <= set(self.values_all_correct)
+            and {0, 1} <= set(self.values_with_faults)
+        )
+
+    @property
+    def intermediate(self) -> bool:
+        """Bivalent when all processes are correct (the paper's reading)."""
+        return {0, 1} <= set(self.values_all_correct)
+
+    @property
+    def weak(self) -> bool:
+        """Bivalent over the union of both regimes (§5's weak reading)."""
+        return {0, 1} <= set(self.values_all_correct | self.values_with_faults)
+
+
+def classify_bivalence(
+    all_correct_factory: Callable[[int], Sequence[Process]],
+    faulty_factory: Optional[Callable[[int], Sequence[Process]]],
+    seeds: Sequence[int],
+    max_steps: int = 300_000,
+) -> BivalenceReport:
+    """Empirically classify a protocol's bivalence (Section 5's taxonomy).
+
+    Args:
+        all_correct_factory: seed → processes, all correct, from an input
+            assignment that should permit both outcomes (e.g. a near-even
+            split).
+        faulty_factory: seed → processes including the fault pattern of
+            interest, or None to reuse the all-correct values.
+        seeds: seeds for the Monte Carlo reachability sweeps.
+        max_steps: per-run budget.
+    """
+    values_all_correct = monte_carlo_reachable_values(
+        all_correct_factory, seeds, max_steps
+    )
+    if faulty_factory is None:
+        values_with_faults = values_all_correct
+    else:
+        values_with_faults = monte_carlo_reachable_values(
+            faulty_factory, seeds, max_steps
+        )
+    return BivalenceReport(
+        values_all_correct=values_all_correct,
+        values_with_faults=values_with_faults,
+    )

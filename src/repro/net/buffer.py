@@ -1,0 +1,96 @@
+"""Per-process message buffers.
+
+Each process owns one :class:`MessageBuffer` — the unbounded multiset of
+messages that have been sent to it but not yet received (Section 2.1).
+The buffer itself is order-free; *which* element a ``receive`` returns is
+the scheduler's choice, so the buffer exposes removal both by uniform
+random draw and by index.
+
+The implementation keeps envelopes in a plain list and removes with the
+swap-pop idiom, making both insertion and random removal O(1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.net.message import Envelope
+
+
+class MessageBuffer:
+    """Unbounded, unordered buffer of :class:`Envelope` objects.
+
+    The buffer deliberately has no FIFO guarantee: the paper's message
+    system delivers in arbitrary order.  Deterministic schedulers that
+    want FIFO behaviour can use :meth:`take_oldest`, which selects the
+    envelope with the smallest sequence number.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: list[Envelope] = []
+
+    def put(self, envelope: Envelope) -> None:
+        """Add ``envelope`` to the buffer (the ``send`` half of delivery)."""
+        self._items.append(envelope)
+
+    def take_random(self, rng: random.Random) -> Envelope:
+        """Remove and return a uniformly random envelope.
+
+        Raises:
+            IndexError: if the buffer is empty.
+        """
+        if not self._items:
+            raise IndexError("take_random from an empty MessageBuffer")
+        index = rng.randrange(len(self._items))
+        return self.take_at(index)
+
+    def take_at(self, index: int) -> Envelope:
+        """Remove and return the envelope at ``index`` (swap-pop, O(1))."""
+        items = self._items
+        items[index], items[-1] = items[-1], items[index]
+        return items.pop()
+
+    def take_oldest(self) -> Envelope:
+        """Remove and return the envelope with the smallest sequence number.
+
+        This gives deterministic FIFO-like behaviour for reproducible
+        tests; it is *not* part of the paper's model.
+
+        Raises:
+            IndexError: if the buffer is empty.
+        """
+        if not self._items:
+            raise IndexError("take_oldest from an empty MessageBuffer")
+        index = min(range(len(self._items)), key=lambda i: self._items[i].seq)
+        return self.take_at(index)
+
+    def peek_all(self) -> tuple[Envelope, ...]:
+        """Return a snapshot of the buffer contents without removing them."""
+        return tuple(self._items)
+
+    def remove_where(self, predicate) -> int:
+        """Drop every envelope matching ``predicate``; return the count.
+
+        Used by fault injection (e.g. modelling a crash that loses the
+        victim's pending inbound messages is *not* in the paper's model, but
+        partition experiments use this to discard cross-partition traffic).
+        """
+        kept = [env for env in self._items if not predicate(env)]
+        removed = len(self._items) - len(kept)
+        self._items[:] = kept
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[Envelope]:
+        return iter(tuple(self._items))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MessageBuffer(len={len(self._items)})"

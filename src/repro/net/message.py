@@ -1,0 +1,57 @@
+"""Transport-level envelopes.
+
+The paper distinguishes between what a process *says* (the payload, which a
+malicious process may forge arbitrarily) and *who said it* (the transport
+sender, which the message system authenticates — Section 3.1: "the message
+system must provide a way for correct processes to verify the identity of
+the sender of each message").
+
+:class:`Envelope` models exactly that split.  The ``sender`` field is set
+by :class:`repro.net.system.MessageSystem` from the identity of the process
+performing the ``send`` and can therefore never be forged, while
+``payload`` is whatever object the sending process chose — protocols must
+treat it as untrusted when Byzantine processes are in play.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any
+
+_envelope_counter = count()
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """One message in flight: authenticated sender, recipient, payload.
+
+    Attributes:
+        sender: process id of the (authenticated) transport sender.
+        recipient: process id the envelope was addressed to.
+        payload: protocol-defined message body; untrusted content.
+        seq: globally unique sequence number, assigned at send time.
+            Used only for tracing and deterministic tie-breaking — the
+            message system itself is unordered.
+    """
+
+    sender: int
+    recipient: int
+    payload: Any
+    seq: int = field(default_factory=lambda: next(_envelope_counter))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Envelope(#{self.seq} {self.sender}->{self.recipient} "
+            f"{self.payload!r})"
+        )
+
+
+def reset_envelope_sequence() -> None:
+    """Reset the global envelope sequence counter (test isolation helper).
+
+    Sequence numbers only need to be unique within one simulation; tests
+    that assert on specific ``seq`` values call this first.
+    """
+    global _envelope_counter
+    _envelope_counter = count()

@@ -1,0 +1,405 @@
+"""Delivery schedulers — the resolved nondeterminism of ``receive``.
+
+In the paper's model every atomic step has a process attempt a ``receive``
+that returns either *some* buffered message or φ.  All the nondeterminism
+of an execution therefore lives in (a) which process steps next and
+(b) which message (if any) its receive returns.  A :class:`Scheduler`
+resolves exactly these two choices.
+
+The library ships four schedulers:
+
+:class:`RandomScheduler`
+    Picks uniformly among all pending (process, envelope) options.  This
+    realises the paper's probabilistic assumption on the message system —
+    in every phase, every possible view (every (n-k)-subset of the
+    messages addressed to a process) has probability bounded away from
+    zero of being the view seen.  It is the scheduler under which the
+    convergence theorems apply.
+
+:class:`FifoScheduler`
+    Deterministic: round-robin over processes, oldest envelope first.
+    Not part of the model; used for reproducible unit tests.
+
+:class:`PartitionScheduler`
+    Delivers only messages whose sender *and* recipient belong to the
+    currently active group.  This is the executable form of the
+    sub-configuration machinery of Section 2.2: running the active group
+    in isolation simulates "all processes outside S have died" (Lemma 1)
+    and, by switching groups, the schedule splice σ = σ₀·σ₁ used in the
+    proof of Theorem 1.
+
+:class:`BalancingDelayScheduler`
+    A message-delaying adversary that tries to keep each recipient's view
+    of 0-valued and 1-valued traffic balanced — the slow-convergence
+    behaviour Section 4 ascribes to worst-case faulty processes, applied
+    here to the network itself as a stress test.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.message import Envelope
+from repro.net.system import MessageSystem, deliverable_pairs
+
+#: A scheduling decision: (process id, envelope-or-φ).  ``None`` as the
+#: envelope means the step's receive returns φ.  A ``None`` decision (no
+#: tuple at all) means the scheduler found nothing deliverable: the system
+#: is quiescent from the scheduler's point of view.
+Decision = Optional[tuple[int, Optional[Envelope]]]
+
+
+class Scheduler(ABC):
+    """Strategy object resolving the receive nondeterminism."""
+
+    @abstractmethod
+    def choose(
+        self, system: MessageSystem, alive: Iterable[int], rng: random.Random
+    ) -> Decision:
+        """Pick the next atomic step.
+
+        Args:
+            system: the message system holding all buffers.
+            alive: ids of processes that can still take steps (correct
+                processes that have not exited, plus live faulty ones).
+            rng: the simulation's random source; schedulers must draw all
+                randomness from it so runs are reproducible by seed.
+
+        Returns:
+            ``(pid, envelope)`` to deliver ``envelope`` to ``pid``;
+            ``(pid, None)`` for a φ step by ``pid``; or ``None`` when no
+            step it is willing to schedule exists.
+        """
+
+    def reset(self) -> None:
+        """Clear any internal bookkeeping (called once per simulation)."""
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random delivery; the scheduler of the paper's assumption.
+
+    Args:
+        phi_probability: probability that a scheduled step is a φ step
+            (receive returns null even though mail may be pending).  The
+            protocols treat φ steps as no-ops, so the default of 0 only
+            removes wasted steps; setting it > 0 exercises the full model.
+        weight_by_buffer: when True (default) each pending *envelope* is
+            equally likely, so busy processes step proportionally more —
+            the natural uniform measure over enabled events.  When False
+            each *process* with mail is equally likely first, then one of
+            its envelopes uniformly.
+    """
+
+    def __init__(
+        self, phi_probability: float = 0.0, weight_by_buffer: bool = True
+    ) -> None:
+        if not 0.0 <= phi_probability < 1.0:
+            raise ConfigurationError(
+                f"phi_probability must be in [0, 1), got {phi_probability}"
+            )
+        self.phi_probability = phi_probability
+        self.weight_by_buffer = weight_by_buffer
+
+    def choose(
+        self, system: MessageSystem, alive: Iterable[int], rng: random.Random
+    ) -> Decision:
+        alive = list(alive)
+        candidates = deliverable_pairs(system, alive)
+        if not candidates:
+            return None
+        if self.phi_probability and rng.random() < self.phi_probability:
+            return rng.choice(alive), None
+        if self.weight_by_buffer:
+            weights = [len(system.buffer_of(pid)) for pid in candidates]
+            pid = rng.choices(candidates, weights=weights, k=1)[0]
+        else:
+            pid = rng.choice(candidates)
+        return pid, system.buffer_of(pid).take_random(rng)
+
+
+class FifoScheduler(Scheduler):
+    """Deterministic round-robin + oldest-first delivery (for tests).
+
+    Cycles through process ids; each visited process with mail receives its
+    oldest buffered envelope.  With a fixed seed-free protocol this yields
+    bit-identical executions, which the unit tests rely on.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def choose(
+        self, system: MessageSystem, alive: Iterable[int], rng: random.Random
+    ) -> Decision:
+        alive_set = set(alive)
+        n = system.n
+        for offset in range(n):
+            pid = (self._cursor + offset) % n
+            if pid in alive_set and system.buffer_of(pid):
+                self._cursor = (pid + 1) % n
+                return pid, system.buffer_of(pid).take_oldest()
+        return None
+
+
+class PartitionScheduler(Scheduler):
+    """Deliver only within the active group; everything else stays buffered.
+
+    Used by the lower-bound scenarios: running group S alone is
+    operationally identical to every process outside S being dead
+    (their messages exist but are never delivered, and they take no
+    steps).  Switching the active group replays the complement.
+
+    Args:
+        groups: disjoint-or-not collections of process ids.  The scheduler
+            does not require a partition in the strict sense; Theorem 3's
+            scenario uses *overlapping* S and T.
+        inner: scheduler used to pick among deliverable intra-group
+            messages (defaults to :class:`RandomScheduler`).
+    """
+
+    def __init__(
+        self, groups: Sequence[Iterable[int]], inner: Scheduler | None = None
+    ) -> None:
+        self.groups = [frozenset(group) for group in groups]
+        if not self.groups:
+            raise ConfigurationError("PartitionScheduler needs at least one group")
+        self.active_index = 0
+        self.inner = inner if inner is not None else RandomScheduler()
+
+    @property
+    def active_group(self) -> frozenset[int]:
+        """The group whose intra-group messages are currently deliverable."""
+        return self.groups[self.active_index]
+
+    def activate(self, index: int) -> None:
+        """Make ``groups[index]`` the active group."""
+        if not 0 <= index < len(self.groups):
+            raise ConfigurationError(
+                f"group index {index} out of range ({len(self.groups)} groups)"
+            )
+        self.active_index = index
+
+    def choose(
+        self, system: MessageSystem, alive: Iterable[int], rng: random.Random
+    ) -> Decision:
+        group = self.active_group
+        members = [pid for pid in alive if pid in group]
+        # Build a view restricted to intra-group traffic by temporarily
+        # selecting only envelopes whose sender is inside the group.
+        candidates: list[tuple[int, int]] = []  # (pid, index into buffer)
+        for pid in members:
+            buffer = system.buffer_of(pid)
+            for index, env in enumerate(buffer.peek_all()):
+                if env.sender in group:
+                    candidates.append((pid, index))
+        if not candidates:
+            return None
+        pid, index = rng.choice(candidates)
+        # peek_all() snapshots in list order, so the index is valid for
+        # take_at as long as nothing mutated the buffer in between (nothing
+        # has: we are single-threaded within one scheduling decision).
+        return pid, system.buffer_of(pid).take_at(index)
+
+
+class ExponentialDelayScheduler(Scheduler):
+    """Virtual-time delivery: every message gets an exponential delay.
+
+    The paper's model has no clocks — only arbitrary finite delays.  The
+    standard way to *measure* such executions (common throughout the
+    asynchronous-rounds literature) is to charge each message an
+    independent Exp(mean_delay) transit time and deliver in timestamp
+    order.  This scheduler keeps a virtual clock (:attr:`now`) so runs
+    can be reported in time units rather than steps: e.g. "expected
+    phases is constant" becomes "expected time is a constant multiple of
+    the mean message delay".
+
+    Delays are assigned lazily the first time an envelope is considered;
+    by memorylessness of the exponential this is equivalent to stamping
+    at send time, and it spares the scheduler any coupling to the kernel
+    send path.
+
+    Every view of a phase still has positive probability (delays are
+    independent and unbounded-support), so the paper's probabilistic
+    assumption holds here too — this is a *refinement* of the uniform
+    scheduler, not a departure from the model.
+    """
+
+    def __init__(self, mean_delay: float = 1.0) -> None:
+        if mean_delay <= 0:
+            raise ConfigurationError(
+                f"mean_delay must be positive, got {mean_delay}"
+            )
+        self.mean_delay = mean_delay
+        self.now = 0.0
+        self._deadlines: dict[int, float] = {}
+
+    def reset(self) -> None:
+        self.now = 0.0
+        self._deadlines.clear()
+
+    def choose(
+        self, system: MessageSystem, alive: Iterable[int], rng: random.Random
+    ) -> Decision:
+        best: Optional[tuple[float, int, int]] = None  # (deadline, pid, index)
+        for pid in deliverable_pairs(system, alive):
+            for index, env in enumerate(system.buffer_of(pid).peek_all()):
+                deadline = self._deadlines.get(env.seq)
+                if deadline is None:
+                    deadline = self.now + rng.expovariate(1.0 / self.mean_delay)
+                    self._deadlines[env.seq] = deadline
+                if best is None or deadline < best[0]:
+                    best = (deadline, pid, index)
+        if best is None:
+            return None
+        deadline, pid, index = best
+        envelope = system.buffer_of(pid).take_at(index)
+        self._deadlines.pop(envelope.seq, None)
+        self.now = max(self.now, deadline)
+        return pid, envelope
+
+
+class FilteredRandomScheduler(Scheduler):
+    """Uniform random delivery restricted to envelopes passing a predicate.
+
+    The mutable ``predicate`` attribute takes an
+    :class:`~repro.net.message.Envelope` and returns whether it may be
+    delivered now.  Withholding messages indefinitely is a *legal*
+    scheduler in the asynchronous model (delays are unbounded), which is
+    exactly what the lower-bound scenarios need: Theorem 3's replay
+    withholds the malicious overlap's pre-reset messages from the second
+    group forever.
+    """
+
+    def __init__(self, predicate) -> None:
+        self.predicate = predicate
+
+    def choose(
+        self, system: MessageSystem, alive: Iterable[int], rng: random.Random
+    ) -> Decision:
+        candidates: list[tuple[int, int]] = []
+        for pid in deliverable_pairs(system, alive):
+            for index, env in enumerate(system.buffer_of(pid).peek_all()):
+                if self.predicate(env):
+                    candidates.append((pid, index))
+        if not candidates:
+            return None
+        pid, index = rng.choice(candidates)
+        return pid, system.buffer_of(pid).take_at(index)
+
+
+class ScriptedScheduler(Scheduler):
+    """Replays an explicit delivery script; for exact adversarial schedules.
+
+    The script is a sequence of ``(recipient, sender)`` pairs: at each
+    step the scheduler delivers to ``recipient`` the oldest buffered
+    envelope from ``sender``.  When the script is exhausted (or the next
+    scripted delivery is impossible) the fallback scheduler takes over —
+    or, with ``strict=True`` and no fallback, the run goes quiescent.
+
+    This is the tool for writing the paper's proof schedules as code:
+    the Theorem 1 splice σ = σ₀·σ₁ and the equivocation attack on the
+    echo-less variant are both expressed as scripts in the test suite.
+    """
+
+    def __init__(
+        self,
+        script: Sequence[tuple[int, int]],
+        fallback: Scheduler | None = None,
+    ) -> None:
+        self.script = list(script)
+        self.fallback = fallback
+        self._position = 0
+
+    def reset(self) -> None:
+        self._position = 0
+        if self.fallback is not None:
+            self.fallback.reset()
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scripted delivery has been attempted."""
+        return self._position >= len(self.script)
+
+    def choose(
+        self, system: MessageSystem, alive: Iterable[int], rng: random.Random
+    ) -> Decision:
+        alive_set = set(alive)
+        while self._position < len(self.script):
+            recipient, sender = self.script[self._position]
+            self._position += 1
+            if recipient not in alive_set:
+                continue
+            buffer = system.buffer_of(recipient)
+            matches = [
+                (env.seq, index)
+                for index, env in enumerate(buffer.peek_all())
+                if env.sender == sender
+            ]
+            if not matches:
+                continue
+            _, index = min(matches)
+            return recipient, buffer.take_at(index)
+        if self.fallback is not None:
+            return self.fallback.choose(system, alive, rng)
+        return None
+
+
+class BalancingDelayScheduler(Scheduler):
+    """Adversarial network: keeps each recipient's 0/1 intake balanced.
+
+    For every candidate delivery the scheduler inspects the payload's
+    ``value`` attribute (protocol messages in this library all carry one;
+    payloads without it are treated as neutral).  It prefers to deliver,
+    to each recipient, the value that recipient has so far received
+    *less* of — pushing every view toward an even split, which is the
+    slowest-converging direction for majority-style protocols (Section 4).
+
+    This scheduler is a *stressor*, not part of the model: the paper's
+    probabilistic assumption excludes adversaries with total scheduling
+    power.  Benchmarks use it to show the protocols still terminate in
+    practice because the adversary cannot manufacture balanced views once
+    the population itself is lopsided.
+    """
+
+    def __init__(self) -> None:
+        self._per_recipient_value_counts: dict[int, dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+
+    def reset(self) -> None:
+        self._per_recipient_value_counts.clear()
+
+    def choose(
+        self, system: MessageSystem, alive: Iterable[int], rng: random.Random
+    ) -> Decision:
+        best: list[tuple[int, int]] = []
+        best_score: float | None = None
+        for pid in deliverable_pairs(system, alive):
+            counts = self._per_recipient_value_counts[pid]
+            for index, env in enumerate(system.buffer_of(pid).peek_all()):
+                value = getattr(env.payload, "value", None)
+                if value in (0, 1):
+                    # Deficit of this value at this recipient: the more the
+                    # recipient lacks this value, the more we want it in.
+                    score = counts[1 - value] - counts[value]
+                else:
+                    score = 0
+                if best_score is None or score > best_score:
+                    best, best_score = [(pid, index)], score
+                elif score == best_score:
+                    best.append((pid, index))
+        if not best:
+            return None
+        pid, index = rng.choice(best)
+        envelope = system.buffer_of(pid).take_at(index)
+        value = getattr(envelope.payload, "value", None)
+        if value in (0, 1):
+            self._per_recipient_value_counts[pid][value] += 1
+        return pid, envelope

@@ -1,0 +1,133 @@
+"""The asynchronous message system of Section 2.1.
+
+A :class:`MessageSystem` owns one :class:`~repro.net.buffer.MessageBuffer`
+per process and implements the ``send`` primitive: instantaneously place a
+message in the destination buffer.  Delivery (the ``receive`` primitive) is
+driven by schedulers, which pull envelopes back out of buffers.
+
+Two properties of the paper's model are enforced here:
+
+* **Reliability** — a sent message is never lost; it stays buffered until
+  a scheduler delivers it (or the simulation ends).
+* **Sender authentication** — the envelope's ``sender`` field is stamped
+  by the system from the identity passed by the simulation kernel, not
+  from anything the sending process controls.  A malicious process can
+  put arbitrary *payloads* on the wire but cannot impersonate another
+  transport identity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError
+from repro.net.buffer import MessageBuffer
+from repro.net.message import Envelope
+
+
+class MessageSystem:
+    """Fully connected reliable asynchronous message system for ``n`` processes.
+
+    Args:
+        n: number of processes; ids are ``0 .. n-1``.
+
+    Attributes:
+        messages_sent: total envelopes accepted by :meth:`send`.
+        messages_delivered: total envelopes handed to processes; updated by
+            the simulation kernel via :meth:`note_delivered`.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one process, got n={n}")
+        self.n = n
+        self._buffers = [MessageBuffer() for _ in range(n)]
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------ #
+    # The send primitive
+    # ------------------------------------------------------------------ #
+
+    def send(self, sender: int, recipient: int, payload: Any) -> Envelope:
+        """Place ``payload`` in ``recipient``'s buffer, stamped with ``sender``.
+
+        Mirrors the paper's ``send(p, m)``: instantaneous and reliable.
+        Self-sends are legal and used by the protocols to defer messages
+        from future phases (Fig. 1 and Fig. 2 both re-``send`` such
+        messages to the receiving process itself).
+        """
+        self._check_pid(sender, "sender")
+        self._check_pid(recipient, "recipient")
+        envelope = Envelope(sender=sender, recipient=recipient, payload=payload)
+        self._buffers[recipient].put(envelope)
+        self.messages_sent += 1
+        return envelope
+
+    def broadcast(self, sender: int, payload: Any) -> list[Envelope]:
+        """Send ``payload`` from ``sender`` to *every* process, self included.
+
+        The paper's protocols all open a phase with "for all q, 1 ≤ q ≤ n,
+        send(q, ...)", which includes the sender itself.
+        """
+        return [self.send(sender, recipient, payload) for recipient in range(self.n)]
+
+    # ------------------------------------------------------------------ #
+    # Buffer access (used by schedulers and the kernel)
+    # ------------------------------------------------------------------ #
+
+    def buffer_of(self, pid: int) -> MessageBuffer:
+        """Return the buffer of process ``pid``."""
+        self._check_pid(pid, "pid")
+        return self._buffers[pid]
+
+    def note_delivered(self, envelope: Envelope) -> None:
+        """Record that ``envelope`` was handed to its recipient."""
+        self.messages_delivered += 1
+
+    def pending_total(self) -> int:
+        """Total number of undelivered envelopes across all buffers."""
+        return sum(len(buf) for buf in self._buffers)
+
+    def processes_with_mail(self) -> list[int]:
+        """Ids of processes whose buffers are non-empty."""
+        return [pid for pid in range(self.n) if self._buffers[pid]]
+
+    def snapshot(self) -> dict[int, tuple[Envelope, ...]]:
+        """Immutable view of every buffer, for tests and tracing."""
+        return {pid: buf.peek_all() for pid, buf in enumerate(self._buffers)}
+
+    def drop_where(self, predicate) -> int:
+        """Drop matching envelopes from every buffer; return total dropped.
+
+        Not part of the reliable model — provided for experiments that
+        deliberately break assumptions (documented wherever used).
+        """
+        return sum(buf.remove_where(predicate) for buf in self._buffers)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _check_pid(self, pid: int, role: str) -> None:
+        if not isinstance(pid, int) or not 0 <= pid < self.n:
+            raise ConfigurationError(
+                f"{role}={pid!r} is not a valid process id for n={self.n}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MessageSystem(n={self.n}, pending={self.pending_total()}, "
+            f"sent={self.messages_sent})"
+        )
+
+
+def deliverable_pairs(system: MessageSystem, alive: Iterable[int]) -> list[int]:
+    """Return alive process ids that currently have at least one buffered message.
+
+    Helper shared by schedulers: a process with an empty buffer can only
+    take a φ step, which is a no-op for every protocol in this library, so
+    schedulers restrict attention to these ids for progress.
+    """
+    alive_set = set(alive)
+    return [pid for pid in system.processes_with_mail() if pid in alive_set]

@@ -1,0 +1,6 @@
+"""Process framework: the atomic-step state machines of the paper's model."""
+
+from repro.procs.registers import DecisionRegister
+from repro.procs.base import Process, Send
+
+__all__ = ["DecisionRegister", "Process", "Send"]

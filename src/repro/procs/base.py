@@ -1,0 +1,116 @@
+"""The process abstraction: atomic-step state machines.
+
+Section 2.1 defines an atomic step as: try to receive a message, perform
+an arbitrarily long local computation, then send a finite set of messages.
+:class:`Process` captures exactly this shape:
+
+* :meth:`Process.start` is the process's very first atomic step, taken
+  before any message exists (its receive returns φ by construction); every
+  protocol uses it to send its phase-0 messages.
+* :meth:`Process.step` is every subsequent atomic step; it is handed the
+  envelope chosen by the scheduler (or ``None`` for a φ step) and returns
+  the finite set of sends the step produces.
+
+Processes never touch the message system directly — the simulation kernel
+routes the returned sends — which is what lets the kernel authenticate
+transport senders even for Byzantine processes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.net.message import Envelope
+from repro.procs.registers import DecisionRegister
+
+
+@dataclass(frozen=True, slots=True)
+class Send:
+    """One outgoing message produced by an atomic step."""
+
+    recipient: int
+    payload: Any
+
+
+class Process(ABC):
+    """Base class for every process, correct or faulty.
+
+    Attributes:
+        pid: this process's id in ``0 .. n-1``.
+        n: total number of processes in the system.
+        decision: the write-once ``d_p`` register.
+        exited: True once the process has voluntarily left the protocol
+            (e.g. the Fig. 1 protocol exits after deciding and sending its
+            two final broadcasts).  Exited processes take no more steps.
+        crashed: True once fail-stop death occurred.  Set by fault
+            wrappers, never by correct protocol code.
+        steps_taken: number of atomic steps this process has performed.
+        decided_at_phase: the protocol phase during which the decision was
+            made, if the protocol tracks phases (``None`` otherwise).
+        decided_at_step: this process's step count when it decided.
+    """
+
+    #: Subclasses representing Byzantine processes set this to False; the
+    #: kernel and result validators use it to scope correctness checks.
+    is_correct: bool = True
+
+    def __init__(self, pid: int, n: int) -> None:
+        self.pid = pid
+        self.n = n
+        self.decision = DecisionRegister()
+        self.exited = False
+        self.crashed = False
+        self.steps_taken = 0
+        self.decided_at_phase: Optional[int] = None
+        self.decided_at_step: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # The two atomic-step entry points
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def start(self) -> list[Send]:
+        """First atomic step: return the sends that open the protocol."""
+
+    @abstractmethod
+    def step(self, envelope: Optional[Envelope]) -> list[Send]:
+        """One atomic step: consume ``envelope`` (φ if None), return sends."""
+
+    # ------------------------------------------------------------------ #
+    # State helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def alive(self) -> bool:
+        """True while the process can still take steps."""
+        return not (self.crashed or self.exited)
+
+    @property
+    def decided(self) -> bool:
+        """True once ``d_p`` has been written."""
+        return self.decision.is_set
+
+    def _decide(self, value: int) -> None:
+        """Write the decision register and record when it happened.
+
+        Subclasses call this instead of touching ``decision`` directly so
+        that the phase/step bookkeeping used by the benchmarks is uniform.
+        """
+        already = self.decision.is_set
+        self.decision.set(value)
+        if not already:
+            self.decided_at_phase = getattr(self, "phaseno", None)
+            self.decided_at_step = self.steps_taken
+
+    def _broadcast(self, payload: Any) -> list[Send]:
+        """Sends of ``payload`` to all n processes, self included."""
+        return [Send(recipient, payload) for recipient in range(self.n)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "crashed" if self.crashed else ("exited" if self.exited else "live")
+        return (
+            f"{type(self).__name__}(pid={self.pid}, {state}, "
+            f"decision={self.decision.get()!r})"
+        )

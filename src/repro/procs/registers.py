@@ -1,0 +1,62 @@
+"""Write-once decision registers.
+
+Section 2.1: each process ``p`` has a distinguished memory location,
+decision ``d_p``.  "Once ``d_p`` is assigned a value ``v``, it can not be
+changed, and ``p`` is said to have decided ``v``."  The register enforces
+both the write-once rule and the binary domain {0, 1}.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, DecisionOverwriteError
+
+
+class DecisionRegister:
+    """The ``d_p`` register: undefined until written, then immutable."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value: int | None = None
+
+    @property
+    def is_set(self) -> bool:
+        """True once the register holds a decision."""
+        return self._value is not None
+
+    @property
+    def value(self) -> int:
+        """The decided value.
+
+        Raises:
+            ConfigurationError: if read before any decision was made.
+        """
+        if self._value is None:
+            raise ConfigurationError("decision register read before being set")
+        return self._value
+
+    def get(self) -> int | None:
+        """The decided value, or ``None`` if undecided (non-raising read)."""
+        return self._value
+
+    def set(self, value: int) -> None:
+        """Write the decision.
+
+        Raises:
+            ConfigurationError: if ``value`` is not 0 or 1.
+            DecisionOverwriteError: on any attempt to change an existing
+                decision to a *different* value.  Re-deciding the same
+                value is idempotent and allowed (the paper's protocols can
+                re-derive their decision in later phases).
+        """
+        if value not in (0, 1):
+            raise ConfigurationError(f"decision must be 0 or 1, got {value!r}")
+        if self._value is not None and self._value != value:
+            raise DecisionOverwriteError(
+                f"decision register already holds {self._value}, "
+                f"refusing overwrite with {value}"
+            )
+        self._value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DecisionRegister({self._value!r})"

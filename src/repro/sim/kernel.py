@@ -1,0 +1,311 @@
+"""The simulation kernel: drives atomic steps through a scheduler.
+
+One :class:`Simulation` wires together processes, a
+:class:`~repro.net.system.MessageSystem`, and a
+:class:`~repro.net.schedulers.Scheduler`, then executes the paper's
+execution model:
+
+1. Every process takes its initial atomic step (its receive returns φ —
+   no message exists yet); the sends it produces are routed.
+2. Repeatedly, the scheduler picks a process and an envelope (or φ); the
+   process takes one atomic step; the kernel routes the resulting sends,
+   stamping the *authenticated* transport sender.
+3. The loop halts when the halting predicate holds (by default: every
+   correct process has decided), when the scheduler reports quiescence,
+   or when the step budget is exhausted.
+
+Determinism: all randomness flows through one ``random.Random(seed)``,
+shared with the scheduler and with any randomized process logic via the
+``rng`` attribute, so a (processes, scheduler, seed) triple replays
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.schedulers import RandomScheduler, Scheduler
+from repro.net.system import MessageSystem
+from repro.procs.base import Process
+from repro.sim.events import (
+    CrashEvent,
+    DecideEvent,
+    DeliverEvent,
+    ExitEvent,
+    PhiEvent,
+    SendEvent,
+    StartEvent,
+    TraceEvent,
+)
+from repro.sim.results import HaltReason, RunResult
+
+#: Halting predicate signature: inspects the simulation, returns True to stop.
+HaltPredicate = Callable[["Simulation"], bool]
+
+
+def all_correct_decided(sim: "Simulation") -> bool:
+    """Default halting predicate: every surviving correct process decided.
+
+    Crashed fail-stop processes are exempt — convergence only obligates
+    processes that keep taking steps.
+    """
+    return all(
+        proc.decided
+        for proc in sim.processes
+        if proc.is_correct and not proc.crashed
+    )
+
+
+def all_correct_exited(sim: "Simulation") -> bool:
+    """Halting predicate: every correct process left the protocol.
+
+    Only meaningful for protocols with a real exit (Fig. 1); Fig. 2 as
+    printed never exits, so use the default predicate there.
+    """
+    return all(
+        proc.exited or proc.crashed for proc in sim.processes if proc.is_correct
+    )
+
+
+class Simulation:
+    """One executable instance of the paper's system model.
+
+    Args:
+        processes: the n processes, where ``processes[i].pid == i``.
+        scheduler: delivery scheduler; defaults to the uniform
+            :class:`RandomScheduler`, which satisfies the paper's
+            probabilistic message-system assumption.
+        seed: seed for the run's single random source.
+        trace: record a full event trace (memory-heavy for echo protocols).
+        halt_when: halting predicate; defaults to
+            :func:`all_correct_decided`.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        scheduler: Optional[Scheduler] = None,
+        seed: Optional[int] = None,
+        trace: bool = False,
+        halt_when: Optional[HaltPredicate] = None,
+    ) -> None:
+        if not processes:
+            raise ConfigurationError("a simulation needs at least one process")
+        for index, proc in enumerate(processes):
+            if proc.pid != index:
+                raise ConfigurationError(
+                    f"process at position {index} has pid={proc.pid}; "
+                    "processes must be ordered by pid"
+                )
+            if proc.n != len(processes):
+                raise ConfigurationError(
+                    f"process {proc.pid} was built for n={proc.n}, "
+                    f"but the simulation has n={len(processes)}"
+                )
+        self.processes: list[Process] = list(processes)
+        self.n = len(processes)
+        self.system = MessageSystem(self.n)
+        self.scheduler = scheduler if scheduler is not None else RandomScheduler()
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.halt_when = halt_when if halt_when is not None else all_correct_decided
+        self.steps = 0
+        self._trace_enabled = trace
+        self._trace: list[TraceEvent] = []
+        self._started = False
+        # Give randomized processes (e.g. Ben-Or's local coin) access to
+        # the run's RNG without them having to be constructed with it.
+        for proc in self.processes:
+            if getattr(proc, "rng", None) is None and hasattr(proc, "rng"):
+                proc.rng = self.rng
+        self.scheduler.reset()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def alive_pids(self) -> list[int]:
+        """Ids of processes that can still take steps."""
+        return [proc.pid for proc in self.processes if proc.alive]
+
+    @property
+    def correct_pids(self) -> frozenset[int]:
+        """Ids of correct (non-Byzantine) processes.
+
+        Fail-stop processes count as correct here; whether they crashed is
+        tracked separately, matching the paper's accounting where a
+        fail-stop process never lies — it only stops.
+        """
+        return frozenset(
+            proc.pid for proc in self.processes if proc.is_correct
+        )
+
+    @property
+    def trace(self) -> tuple[TraceEvent, ...]:
+        """The event trace recorded so far (empty unless ``trace=True``)."""
+        return tuple(self._trace)
+
+    def max_phase(self) -> int:
+        """Largest phase number reached by any correct process."""
+        phases = [
+            getattr(proc, "phaseno", 0)
+            for proc in self.processes
+            if proc.is_correct
+        ]
+        return max(phases, default=0)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        max_steps: int = 1_000_000,
+        halt_when: Optional[HaltPredicate] = None,
+    ) -> RunResult:
+        """Execute until the halting predicate, quiescence, or ``max_steps``.
+
+        ``run`` is resumable: calling it again continues the same
+        execution (the lower-bound scenarios exploit this to splice
+        schedules, running one process group to a goal and then another).
+        ``max_steps`` budgets *this call's* additional steps; ``halt_when``
+        overrides the simulation's halting predicate for this call only.
+
+        Returns:
+            A :class:`RunResult` capturing decisions and accounting.
+        """
+        if max_steps < 1:
+            raise ConfigurationError(f"max_steps must be positive, got {max_steps}")
+        halt = halt_when if halt_when is not None else self.halt_when
+        deadline = self.steps + max_steps
+        halt_reason = HaltReason.MAX_STEPS
+        if not self._started:
+            self._take_start_steps()
+            self._started = True
+        if halt(self):
+            halt_reason = HaltReason.GOAL_REACHED
+            return self._build_result(halt_reason)
+        while self.steps < deadline:
+            decision = self.scheduler.choose(self.system, self.alive_pids, self.rng)
+            if decision is None:
+                halt_reason = HaltReason.QUIESCENT
+                break
+            pid, envelope = decision
+            process = self.processes[pid]
+            if not process.alive:
+                raise ConfigurationError(
+                    f"scheduler selected non-live process {pid}"
+                )
+            was_decided = process.decided
+            was_exited = process.exited
+            if envelope is not None:
+                self.system.note_delivered(envelope)
+                if self._trace_enabled:
+                    self._trace.append(
+                        DeliverEvent(
+                            self.steps, pid, envelope.sender, envelope.payload
+                        )
+                    )
+            elif self._trace_enabled:
+                self._trace.append(PhiEvent(self.steps, pid))
+            sends = process.step(envelope)
+            process.steps_taken += 1
+            self._route(pid, sends)
+            self._note_transitions(process, was_decided, was_exited)
+            self.steps += 1
+            if halt(self):
+                halt_reason = HaltReason.GOAL_REACHED
+                break
+        return self._build_result(halt_reason)
+
+    def replace_process(self, pid: int, replacement: Process) -> None:
+        """Swap in a new process object for ``pid`` and run its start step.
+
+        This is the executable form of the malicious state reset in the
+        proof of Theorem 3: "the malicious processes in S ∩ T change
+        their state and their buffer contents back to what they were in
+        C".  Only lower-bound scenarios use it; replacing a correct
+        process would break the model, so the method refuses to replace
+        a process marked correct unless the replacement is also the
+        scenario's explicit choice (caller responsibility — we only
+        validate ids and sizes here).
+        """
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"pid {pid} out of range")
+        if replacement.pid != pid or replacement.n != self.n:
+            raise ConfigurationError(
+                f"replacement has pid={replacement.pid}, n={replacement.n}; "
+                f"expected pid={pid}, n={self.n}"
+            )
+        self.processes[pid] = replacement
+        if self._started and replacement.alive:
+            sends = replacement.start()
+            replacement.steps_taken += 1
+            self._route(pid, sends)
+            self.steps += 1
+
+    def _take_start_steps(self) -> None:
+        """Run every live process's initial atomic step, in pid order."""
+        for process in self.processes:
+            if not process.alive:
+                continue
+            was_decided = process.decided
+            was_exited = process.exited
+            if self._trace_enabled:
+                self._trace.append(StartEvent(self.steps, process.pid))
+            sends = process.start()
+            process.steps_taken += 1
+            self._route(process.pid, sends)
+            self._note_transitions(process, was_decided, was_exited)
+            self.steps += 1
+
+    def _route(self, sender_pid: int, sends) -> None:
+        """Deliver an atomic step's sends into the message system."""
+        for send in sends:
+            self.system.send(sender_pid, send.recipient, send.payload)
+            if self._trace_enabled:
+                self._trace.append(
+                    SendEvent(self.steps, sender_pid, send.recipient, send.payload)
+                )
+
+    def _note_transitions(
+        self, process: Process, was_decided: bool, was_exited: bool
+    ) -> None:
+        if self._trace_enabled:
+            if not was_decided and process.decided:
+                self._trace.append(
+                    DecideEvent(self.steps, process.pid, process.decision.value)
+                )
+            if not was_exited and process.exited:
+                self._trace.append(ExitEvent(self.steps, process.pid))
+            if process.crashed:
+                last = self._trace[-1] if self._trace else None
+                if not isinstance(last, CrashEvent) or last.pid != process.pid:
+                    self._trace.append(CrashEvent(self.steps, process.pid))
+
+    def _build_result(self, halt_reason: HaltReason) -> RunResult:
+        return RunResult(
+            n=self.n,
+            decisions=tuple(proc.decision.get() for proc in self.processes),
+            correct_pids=self.correct_pids,
+            crashed_pids=frozenset(
+                proc.pid for proc in self.processes if proc.crashed
+            ),
+            decided_at_phase=tuple(
+                proc.decided_at_phase for proc in self.processes
+            ),
+            decided_at_step=tuple(proc.decided_at_step for proc in self.processes),
+            inputs=tuple(
+                getattr(proc, "input_value", 0) for proc in self.processes
+            ),
+            steps=self.steps,
+            messages_sent=self.system.messages_sent,
+            messages_delivered=self.system.messages_delivered,
+            max_phase=self.max_phase(),
+            halt_reason=halt_reason,
+            seed=self.seed,
+            trace=self.trace,
+        )

@@ -1,0 +1,182 @@
+"""Run results and their validation against the paper's correctness notions.
+
+A :class:`RunResult` is the immutable record of one simulation: decisions,
+phase/step accounting, message counts, and why the run halted.  The module
+also provides the three properties of a k-resilient consensus protocol
+(Section 2.1) as checkable predicates over results:
+
+* *consistency* — no two correct processes decided differently;
+* *validity on unanimous inputs* — a consequence of the protocols'
+  bivalence arguments ("if all the processes start with the same input
+  value, all the correct processes decide that value");
+* *termination* — every correct process decided (convergence is a
+  statement about probability over many runs; per-run we check decision).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import AgreementViolation
+from repro.sim.events import TraceEvent
+
+
+class HaltReason(enum.Enum):
+    """Why a simulation's run loop stopped."""
+
+    #: The halting predicate held (default: all correct processes decided).
+    GOAL_REACHED = "goal_reached"
+    #: The scheduler had nothing to deliver — quiescence.  For a correct
+    #: configuration of the paper's protocols this only happens after all
+    #: correct processes decided *and exited*; earlier quiescence is the
+    #: deadlock the paper's deadlock-freedom proofs rule out (or the
+    #: expected outcome of a lower-bound scenario at the legal bound).
+    QUIESCENT = "quiescent"
+    #: The step budget ran out first.
+    MAX_STEPS = "max_steps"
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated execution.
+
+    Attributes:
+        n: number of processes.
+        decisions: per-process decided value (``None`` if undecided),
+            indexed by pid; includes faulty processes for completeness.
+        correct_pids: pids of non-Byzantine processes.  A fail-stop
+            process counts as correct — it never lies — and any decision
+            it made before dying participates in the agreement checks,
+            exactly as in the paper's consistency property.
+        crashed_pids: pids that fail-stopped during the run.  The
+            *surviving* correct processes are ``correct_pids −
+            crashed_pids``; termination is only demanded of them.
+        decided_at_phase: per-process phase at decision time (or None).
+        decided_at_step: per-process own-step count at decision time.
+        inputs: the initial values the run started from.
+        steps: total atomic steps executed.
+        messages_sent / messages_delivered: message-system counters.
+        max_phase: largest protocol phase reached by any correct process.
+        halt_reason: why the run loop stopped.
+        seed: the RNG seed, for exact replay.
+        trace: the full event trace if tracing was enabled, else ().
+    """
+
+    n: int
+    decisions: tuple[Optional[int], ...]
+    correct_pids: frozenset[int]
+    crashed_pids: frozenset[int]
+    decided_at_phase: tuple[Optional[int], ...]
+    decided_at_step: tuple[Optional[int], ...]
+    inputs: tuple[int, ...]
+    steps: int
+    messages_sent: int
+    messages_delivered: int
+    max_phase: int
+    halt_reason: HaltReason
+    seed: Optional[int] = None
+    trace: tuple[TraceEvent, ...] = field(default=())
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def correct_decisions(self) -> dict[int, Optional[int]]:
+        """Decisions restricted to correct processes."""
+        return {pid: self.decisions[pid] for pid in sorted(self.correct_pids)}
+
+    @property
+    def decided_values(self) -> set[int]:
+        """The set of distinct values decided by correct processes."""
+        return {
+            value for value in self.correct_decisions.values() if value is not None
+        }
+
+    @property
+    def surviving_pids(self) -> frozenset[int]:
+        """Correct processes that did not crash."""
+        return self.correct_pids - self.crashed_pids
+
+    @property
+    def all_correct_decided(self) -> bool:
+        """True when every *surviving* correct process decided.
+
+        Crashed fail-stop processes are exempt: the convergence property
+        only obligates processes that keep taking steps.
+        """
+        return all(
+            self.decisions[pid] is not None for pid in self.surviving_pids
+        )
+
+    @property
+    def agreement_holds(self) -> bool:
+        """True when no two correct processes decided different values."""
+        return len(self.decided_values) <= 1
+
+    @property
+    def consensus_value(self) -> Optional[int]:
+        """The agreed value, if all correct processes decided identically."""
+        if self.all_correct_decided and self.agreement_holds and self.decided_values:
+            return next(iter(self.decided_values))
+        return None
+
+    def phases_to_decide(self) -> list[int]:
+        """Decision phases of correct processes (for performance plots)."""
+        return [
+            self.decided_at_phase[pid]
+            for pid in sorted(self.correct_pids)
+            if self.decided_at_phase[pid] is not None
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def check_agreement(self) -> None:
+        """Raise :class:`AgreementViolation` if correct processes disagree."""
+        if not self.agreement_holds:
+            raise AgreementViolation(
+                f"correct processes decided multiple values: "
+                f"{self.correct_decisions}"
+            )
+
+    def check_unanimous_validity(self) -> None:
+        """If all correct inputs were equal, decisions must match that input.
+
+        The paper's protocols guarantee this (their bivalence arguments);
+        a failure indicates either an implementation bug or a faulty
+        process successfully corrupting the outcome beyond the bound.
+        """
+        correct_inputs = {self.inputs[pid] for pid in self.correct_pids}
+        if len(correct_inputs) != 1:
+            return
+        (unanimous,) = correct_inputs
+        for pid, value in self.correct_decisions.items():
+            if value is not None and value != unanimous:
+                raise AgreementViolation(
+                    f"process {pid} decided {value} although every correct "
+                    f"process started with {unanimous}"
+                )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        phases = self.phases_to_decide()
+        phase_part = (
+            f"phases {min(phases)}..{max(phases)}" if phases else "no decisions"
+        )
+        return (
+            f"n={self.n} decided={sum(d is not None for d in self.decisions)} "
+            f"value={self.consensus_value} {phase_part} steps={self.steps} "
+            f"halt={self.halt_reason.value}"
+        )
+
+
+def aggregate_decision_phases(results: Sequence[RunResult]) -> list[int]:
+    """Flatten the per-process decision phases of many runs into one list."""
+    phases: list[int] = []
+    for result in results:
+        phases.extend(result.phases_to_decide())
+    return phases

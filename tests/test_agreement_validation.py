@@ -1,0 +1,154 @@
+"""Unit tests for the agreement validation verdicts (the _judge rules).
+
+These drive the verdict function directly with hand-built validated
+buckets, pinning each validity rule of the module docstring — the
+subtlest machinery in the library and the part whose absence
+demonstrably breaks n > 3t safety.
+"""
+
+import pytest
+
+from repro.broadcast.agreement import BrachaAgreementProcess
+
+
+def _process(n=7, t=2):
+    return BrachaAgreementProcess(0, n, t, 0)
+
+
+def _seed_valid(process, round_step_key, entries):
+    """Install already-validated messages: origin → (value, marked)."""
+    process._valid[round_step_key] = dict(entries)
+
+
+class TestRound0Inputs:
+    def test_free_inputs_valid(self):
+        process = _process()
+        assert process._judge((3, 0, 1), (1, False, None)) is True
+        assert process._judge((3, 0, 1), (0, False, frozenset())) is True
+
+    def test_round0_input_with_justifiers_invalid(self):
+        process = _process()
+        assert process._judge((3, 0, 1), (1, False, frozenset({0, 1}))) is False
+
+    def test_marked_outside_step3_invalid(self):
+        process = _process()
+        assert process._judge((3, 0, 1), (1, True, None)) is False
+
+    def test_garbage_tags_invalid(self):
+        process = _process()
+        assert process._judge((3, 0, 4), (1, False, None)) is False
+        assert process._judge((3, -1, 1), (1, False, None)) is False
+
+
+class TestJustificationPlumbing:
+    def test_too_small_justification_invalid(self):
+        process = _process()
+        assert process._judge(
+            (3, 0, 2), (1, False, frozenset({0, 1}))
+        ) is False  # needs n−t = 5
+
+    def test_unknown_origin_in_justification_invalid(self):
+        process = _process()
+        assert process._judge(
+            (3, 0, 2), (1, False, frozenset({0, 1, 2, 3, 99}))
+        ) is False
+
+    def test_missing_justifier_waits(self):
+        process = _process()
+        _seed_valid(process, (0, 1), {o: (1, False) for o in range(4)})
+        verdict = process._judge(
+            (3, 0, 2), (1, False, frozenset(range(5)))
+        )
+        assert verdict is None  # origin 4's step-1 not yet validated
+
+    def test_invalid_justifier_condemns(self):
+        process = _process()
+        _seed_valid(process, (0, 1), {o: (1, False) for o in range(4)})
+        process._invalid[(0, 1)] = {4}
+        verdict = process._judge(
+            (3, 0, 2), (1, False, frozenset(range(5)))
+        )
+        assert verdict is False  # guilty by citation
+
+
+class TestStepRules:
+    def test_step2_must_report_cited_majority(self):
+        process = _process()
+        _seed_valid(
+            process, (0, 1),
+            {0: (1, False), 1: (1, False), 2: (1, False), 3: (0, False), 4: (0, False)},
+        )
+        justifiers = frozenset(range(5))
+        assert process._judge((3, 0, 2), (1, False, justifiers)) is True
+        assert process._judge((3, 0, 2), (0, False, justifiers)) is False
+
+    def test_step3_mark_needs_majority_of_n(self):
+        process = _process(n=7, t=2)
+        # 4 of 5 cited say 1: 4·2 > 7 → a mark for 1 is justified.
+        _seed_valid(
+            process, (0, 2),
+            {0: (1, False), 1: (1, False), 2: (1, False), 3: (1, False), 4: (0, False)},
+        )
+        justifiers = frozenset(range(5))
+        assert process._judge((3, 0, 3), (1, True, justifiers)) is True
+        assert process._judge((3, 0, 3), (0, True, justifiers)) is False
+
+    def test_step3_three_of_five_is_no_quorum(self):
+        process = _process(n=7, t=2)
+        _seed_valid(
+            process, (0, 2),
+            {0: (1, False), 1: (1, False), 2: (1, False), 3: (0, False), 4: (0, False)},
+        )
+        justifiers = frozenset(range(5))
+        # 3·2 = 6 < 7: no quorum — the mark is a lie…
+        assert process._judge((3, 0, 3), (1, True, justifiers)) is False
+        # …and the honest unmarked majority report is fine.
+        assert process._judge((3, 0, 3), (1, False, justifiers)) is True
+
+    def test_step3_hiding_a_quorum_is_a_lie(self):
+        process = _process(n=7, t=2)
+        _seed_valid(
+            process, (0, 2),
+            {o: (1, False) for o in range(5)},
+        )
+        justifiers = frozenset(range(5))
+        # All five say 1 — an unmarked message citing them is dishonest.
+        assert process._judge((3, 0, 3), (1, False, justifiers)) is False
+        assert process._judge((3, 0, 3), (1, True, justifiers)) is True
+
+    def test_step1_must_follow_cited_candidate(self):
+        process = _process(n=7, t=2)
+        _seed_valid(
+            process, (0, 3),
+            {0: (1, True), 1: (1, False), 2: (0, False), 3: (0, False), 4: (0, False)},
+        )
+        justifiers = frozenset(range(5))
+        assert process._judge((3, 1, 1), (1, False, justifiers)) is True
+        assert process._judge((3, 1, 1), (0, False, justifiers)) is False
+
+    def test_step1_coin_free_without_candidate(self):
+        process = _process(n=7, t=2)
+        _seed_valid(
+            process, (0, 3),
+            {o: (o % 2, False) for o in range(5)},
+        )
+        justifiers = frozenset(range(5))
+        assert process._judge((3, 1, 1), (0, False, justifiers)) is True
+        assert process._judge((3, 1, 1), (1, False, justifiers)) is True
+
+
+class TestVerdictObjectivity:
+    def test_all_correct_processes_reach_identical_verdicts(self):
+        """Verdicts are functions of RBC-consistent content only, so any
+        two processes with the same validated buckets judge identically."""
+        a, b = _process(), _process()
+        entries = {
+            0: (1, False), 1: (1, False), 2: (0, False),
+            3: (0, False), 4: (1, False),
+        }
+        _seed_valid(a, (0, 2), entries)
+        _seed_valid(b, (0, 2), entries)
+        for value in (0, 1):
+            for marked in (False, True):
+                claim = (value, marked, frozenset(range(5)))
+                assert a._judge((6, 0, 3), claim) == b._judge((6, 0, 3), claim)

@@ -1,0 +1,99 @@
+"""Tests for the generic absorbing-chain machinery ([Isaa76] results)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.chains import AbsorbingChain, declare_absorbing
+from repro.errors import ConfigurationError
+
+
+def _gambler(p: float = 0.5, m: int = 5) -> AbsorbingChain:
+    """Gambler's ruin on 0..m with absorbing ends — known closed forms."""
+    matrix = np.zeros((m + 1, m + 1))
+    matrix[0, 0] = 1.0
+    matrix[m, m] = 1.0
+    for state in range(1, m):
+        matrix[state, state - 1] = 1 - p
+        matrix[state, state + 1] = p
+    return AbsorbingChain(matrix, absorbing=[0, m])
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            AbsorbingChain(np.ones((2, 3)) / 3, absorbing=[0])
+
+    def test_rejects_non_stochastic(self):
+        matrix = np.array([[0.5, 0.4], [0.0, 1.0]])
+        with pytest.raises(ConfigurationError):
+            AbsorbingChain(matrix, absorbing=[1])
+
+    def test_rejects_negative_entries(self):
+        matrix = np.array([[1.2, -0.2], [0.0, 1.0]])
+        with pytest.raises(ConfigurationError):
+            AbsorbingChain(matrix, absorbing=[1])
+
+    def test_rejects_fake_absorbing_row(self):
+        matrix = np.array([[0.5, 0.5], [0.0, 1.0]])
+        with pytest.raises(ConfigurationError):
+            AbsorbingChain(matrix, absorbing=[0])
+
+    def test_requires_absorbing_states(self):
+        with pytest.raises(ConfigurationError):
+            AbsorbingChain(np.eye(2), absorbing=[])
+
+    def test_declare_absorbing_overwrites_rows(self):
+        matrix = np.full((3, 3), 1 / 3)
+        fixed = declare_absorbing(matrix, [0, 2])
+        assert fixed[0, 0] == 1.0 and fixed[0, 1] == 0.0
+        assert fixed[2, 2] == 1.0
+        assert fixed[1, 1] == pytest.approx(1 / 3)
+
+
+class TestGamblersRuin:
+    def test_expected_absorption_fair_coin(self):
+        """Fair ruin from state i on 0..m: E = i(m−i) — textbook result."""
+        m = 6
+        chain = _gambler(0.5, m)
+        times = chain.expected_absorption_times()
+        for state in range(m + 1):
+            assert times[state] == pytest.approx(state * (m - state), rel=1e-9)
+
+    def test_absorption_probabilities_fair_coin(self):
+        m = 4
+        chain = _gambler(0.5, m)
+        probabilities = chain.absorption_probabilities()
+        for state in range(1, m):
+            assert probabilities[state][m] == pytest.approx(state / m)
+            assert probabilities[state][0] == pytest.approx(1 - state / m)
+
+    def test_absorbing_states_have_zero_time(self):
+        chain = _gambler()
+        times = chain.expected_absorption_times()
+        assert times[0] == 0.0 and times[5] == 0.0
+
+    def test_one_step_absorption_probability(self):
+        chain = _gambler(0.3, 3)
+        assert chain.one_step_absorption_probability(1) == pytest.approx(0.7)
+        assert chain.one_step_absorption_probability(2) == pytest.approx(0.3)
+
+
+class TestMonteCarloAgreesWithExact:
+    def test_simulated_mean_close_to_fundamental_matrix(self):
+        chain = _gambler(0.5, 4)
+        exact = chain.expected_absorption_times()[2]  # = 4
+        simulated = chain.mean_simulated_absorption_time(2, runs=2000, seed=7)
+        assert simulated == pytest.approx(exact, rel=0.15)
+
+    def test_trajectory_from_absorbing_state_is_zero(self):
+        import random
+
+        chain = _gambler()
+        assert chain.simulate_absorption_time(0, random.Random(0)) == 0
+
+    def test_start_state_validated(self):
+        import random
+
+        chain = _gambler()
+        with pytest.raises(ConfigurationError):
+            chain.simulate_absorption_time(99, random.Random(0))

@@ -1,0 +1,106 @@
+"""Tests for the §4.1 five-band collapse (eqs. (8)–(10) audited)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.collapse import (
+    BAND_NAMES,
+    audit_collapse,
+    band_partition,
+    banded_chain,
+    banded_matrix,
+)
+from repro.errors import ConfigurationError
+
+NS = [30, 60, 90]
+
+
+class TestPartition:
+    def test_bands_cover_all_states_disjointly(self):
+        for n in NS:
+            partition = band_partition(n)
+            states = [s for name in BAND_NAMES for s in partition.ranges[name]]
+            assert sorted(states) == list(range(n + 1))
+
+    def test_band_edges_match_paper(self):
+        n = 60
+        partition = band_partition(n)
+        half_width = math.sqrt(1.5) * math.sqrt(n) / 2.0
+        assert partition.ranges["A"] == range(0, 20)
+        assert partition.ranges["E"] == range(41, 61)
+        core = partition.ranges["C"]
+        assert core[0] >= n / 2 - half_width
+        assert core[-1] <= n / 2 + half_width
+
+    def test_representatives_are_centremost(self):
+        partition = band_partition(60)
+        reps = partition.representatives
+        assert reps["C"] == 30
+        assert reps["B"] == partition.ranges["B"][-1]
+        assert reps["D"] == partition.ranges["D"][0]
+
+    def test_band_of(self):
+        partition = band_partition(30)
+        assert partition.band_of(0) == "A"
+        assert partition.band_of(15) == "C"
+        assert partition.band_of(30) == "E"
+        with pytest.raises(ConfigurationError):
+            partition.band_of(31)
+
+    def test_needs_divisibility_and_room(self):
+        with pytest.raises(ConfigurationError):
+            band_partition(10)  # 3 ∤ 10
+        with pytest.raises(ConfigurationError):
+            band_partition(9)  # core touches n/3: band B empty
+
+
+class TestBandedMatrix:
+    def test_stochastic_with_absorbing_ends(self):
+        for n in NS:
+            matrix, _ = banded_matrix(n)
+            assert matrix.shape == (5, 5)
+            assert np.allclose(matrix.sum(axis=1), 1.0)
+            assert matrix[0, 0] == 1.0 and matrix[4, 4] == 1.0
+
+    def test_symmetry_of_outer_bands(self):
+        """M[B→A] = M[D→E] and M[B→C] = M[D→C] (the paper's symmetry)."""
+        matrix, _ = banded_matrix(60)
+        assert matrix[1, 0] == pytest.approx(matrix[3, 4], abs=1e-9)
+        assert matrix[1, 2] == pytest.approx(matrix[3, 2], abs=1e-9)
+
+
+class TestPaperInequalities:
+    @pytest.mark.parametrize("n", NS)
+    def test_eq10_b_escapes_to_a_with_more_than_half(self, n):
+        """Eq. (10): M[B→A] > Φ(0) = 1/2."""
+        audit = audit_collapse(n)
+        assert audit.m_ba > 0.5
+
+    @pytest.mark.parametrize("n", NS)
+    def test_eq9_b_to_c_tiny(self, n):
+        """Eqs. (8)/(9): climbing from the band edge back into the core
+        is (much) rarer than the paper's already-tiny Φ((√n+3l)/√8)…
+        the *exact* value sits under a loose multiple of the estimate."""
+        audit = audit_collapse(n)
+        assert audit.m_bc < 0.05
+        assert audit.m_bc < max(10.0 * audit.phi_escape_bound, 0.05)
+
+    @pytest.mark.parametrize("n", NS)
+    def test_centre_retention_close_to_one_minus_2phi(self, n):
+        """M[C→C] tracks 1 − 2Φ(l) (the centre leaks ≈ 2Φ(l) per phase)."""
+        audit = audit_collapse(n)
+        assert audit.m_cc == pytest.approx(audit.one_minus_2phi, abs=0.25)
+
+    @pytest.mark.parametrize("n", NS)
+    def test_audit_orderings(self, n):
+        """E[exact] ≤ E[banded] ≤ bound (13): each §4.1 step only slows."""
+        audit = audit_collapse(n)
+        assert audit.orderings_hold, audit
+
+    def test_banded_expected_time_from_core(self):
+        chain = banded_chain(60)
+        times = chain.expected_absorption_times()
+        assert times[2] > 0  # from C
+        assert times[0] == 0.0 and times[4] == 0.0

@@ -1,0 +1,123 @@
+"""Tests for absorption-time distributions (the beyond-the-mean view)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.chains import AbsorbingChain
+from repro.analysis.distributions import (
+    absorption_time_percentile,
+    absorption_time_pmf,
+    dominant_transient_eigenvalue,
+    geometric_tail_rate,
+    survival_function,
+)
+from repro.analysis.failstop_chain import failstop_chain
+from repro.analysis.malicious_chain import malicious_chain
+from repro.errors import ConfigurationError
+
+
+def _coin_chain(p: float = 0.3) -> AbsorbingChain:
+    """One transient state absorbing with probability p per step:
+    T is geometric(p) — every quantity has a closed form to test against."""
+    matrix = np.array([[1 - p, p], [0.0, 1.0]])
+    return AbsorbingChain(matrix, absorbing=[1])
+
+
+class TestClosedFormGeometric:
+    def test_survival_matches_geometric(self):
+        p = 0.3
+        chain = _coin_chain(p)
+        survival = survival_function(chain, 0, 10)
+        for t in range(11):
+            assert survival[t] == pytest.approx((1 - p) ** t)
+
+    def test_pmf_matches_geometric(self):
+        p = 0.25
+        chain = _coin_chain(p)
+        pmf = absorption_time_pmf(chain, 0, 12)
+        for t in range(1, 13):
+            assert pmf[t] == pytest.approx((1 - p) ** (t - 1) * p)
+
+    def test_pmf_mean_matches_fundamental_matrix(self):
+        chain = _coin_chain(0.4)
+        horizon = 200
+        pmf = absorption_time_pmf(chain, 0, horizon)
+        mean_from_pmf = sum(t * pmf[t] for t in range(horizon + 1))
+        exact = chain.expected_absorption_times()[0]
+        assert mean_from_pmf == pytest.approx(exact, abs=1e-6)
+
+    def test_percentile(self):
+        chain = _coin_chain(0.5)
+        # P[T ≤ 1] = 0.5, P[T ≤ 2] = 0.75, P[T ≤ 3] = 0.875 …
+        assert absorption_time_percentile(chain, 0, 0.5) == 1
+        assert absorption_time_percentile(chain, 0, 0.75) == 2
+        assert absorption_time_percentile(chain, 0, 0.9) == 4
+
+    def test_tail_rate_recovers_survival_ratio(self):
+        p = 0.2
+        rate = geometric_tail_rate(_coin_chain(p), 0, horizon=40)
+        assert rate == pytest.approx(1 - p, abs=1e-9)
+
+
+class TestOnPaperChains:
+    def test_failstop_chain_survival_decreasing(self):
+        chain = failstop_chain(12)
+        survival = survival_function(chain, 6, 30)
+        assert survival[0] == 1.0
+        assert all(b <= a + 1e-12 for a, b in zip(survival, survival[1:]))
+        assert survival[-1] < 0.01  # absorbed with high probability by t=30
+
+    def test_absorbing_start_is_instant(self):
+        chain = failstop_chain(12)
+        assert survival_function(chain, 0, 5).sum() == 0.0
+        assert absorption_time_percentile(chain, 0, 0.99) == 0
+
+    def test_malicious_tail_rate_tracks_one_step_absorption(self):
+        """§4.2's geometric argument made visible: the long-run decay
+        rate ≈ 1 − P[absorb in one phase from the core]."""
+        n, k = 60, 6
+        chain = malicious_chain(n, k)
+        balanced = (n - k) // 2
+        rate = geometric_tail_rate(chain, balanced, horizon=80)
+        one_step = chain.one_step_absorption_probability(balanced)
+        assert rate == pytest.approx(1 - one_step, abs=0.05)
+
+    def test_percentile_exceeds_mean_for_skewed_time(self):
+        chain = malicious_chain(60, 6)
+        balanced = (60 - 6) // 2
+        mean = chain.expected_absorption_times()[balanced]
+        p99 = absorption_time_percentile(chain, balanced, 0.99)
+        assert p99 > mean  # geometric-ish right-skew
+
+
+class TestSpectral:
+    def test_eigenvalue_matches_coin_chain(self):
+        p = 0.3
+        assert dominant_transient_eigenvalue(_coin_chain(p)) == pytest.approx(
+            1 - p
+        )
+
+    def test_eigenvalue_matches_empirical_tail(self):
+        """λ₁(Q) is exactly the long-run survival decay rate."""
+        chain = malicious_chain(60, 6)
+        eig = dominant_transient_eigenvalue(chain)
+        tail = geometric_tail_rate(chain, (60 - 6) // 2, horizon=120)
+        assert tail == pytest.approx(eig, abs=1e-6)
+
+    def test_failstop_chain_spectrum_below_one(self):
+        eig = dominant_transient_eigenvalue(failstop_chain(30))
+        assert 0.0 < eig < 1.0
+
+
+class TestValidation:
+    def test_bad_horizon(self):
+        with pytest.raises(ConfigurationError):
+            survival_function(_coin_chain(), 0, -1)
+
+    def test_bad_start(self):
+        with pytest.raises(ConfigurationError):
+            survival_function(_coin_chain(), 5, 3)
+
+    def test_bad_quantile(self):
+        with pytest.raises(ConfigurationError):
+            absorption_time_percentile(_coin_chain(), 0, 1.5)

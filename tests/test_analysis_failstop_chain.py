@@ -1,0 +1,183 @@
+"""Tests for the Section 4.1 chain: w_i, P, the collapsed R, bound (13)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.failstop_chain import (
+    PAPER_L_SQUARED,
+    auto_absorbing_states,
+    band_edge_state,
+    chebyshev_w_bound_eq7,
+    collapsed_chain,
+    collapsed_matrix_R,
+    expected_phases_bound_eq13,
+    failstop_chain,
+    failstop_transition_matrix,
+    majority_adoption_probability,
+    paper_absorbing_states,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAdoptionProbability:
+    def test_monotone_in_ones(self):
+        n, k = 30, 10
+        values = [majority_adoption_probability(n, k, i) for i in range(n + 1)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_symmetry_under_random_tiebreak(self):
+        """w_{n−i} = 1 − w_i: the §4 analysis is symmetric around n/2."""
+        n, k = 30, 10
+        for i in range(n + 1):
+            w_i = majority_adoption_probability(n, k, i)
+            w_mirror = majority_adoption_probability(n, k, n - i)
+            assert w_i == pytest.approx(1.0 - w_mirror, abs=1e-12)
+
+    def test_balanced_state_is_fair(self):
+        assert majority_adoption_probability(30, 10, 15) == pytest.approx(0.5)
+
+    def test_zero_tiebreak_biases_down(self):
+        w_random = majority_adoption_probability(30, 10, 15, "random")
+        w_zero = majority_adoption_probability(30, 10, 15, "zero")
+        assert w_zero < w_random
+
+    def test_extremes(self):
+        n, k = 30, 10
+        assert majority_adoption_probability(n, k, 0) == 0.0
+        assert majority_adoption_probability(n, k, n) == 1.0
+        # Fewer than n/3 ones can never majority a 2n/3 sample.
+        assert majority_adoption_probability(n, k, n // 3 - 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            majority_adoption_probability(10, 3, 11)
+        with pytest.raises(ConfigurationError):
+            majority_adoption_probability(10, 10, 5)
+        with pytest.raises(ConfigurationError):
+            majority_adoption_probability(10, 3, 5, "coin?")
+
+
+class TestTransitionMatrix:
+    def test_rows_are_stochastic(self):
+        matrix = failstop_transition_matrix(12, 4)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert (matrix >= 0).all()
+
+    def test_row_is_binomial_in_w(self):
+        from scipy import stats
+
+        n, k = 12, 4
+        matrix = failstop_transition_matrix(n, k)
+        w = majority_adoption_probability(n, k, 7)
+        expected = stats.binom(n, w).pmf(np.arange(n + 1))
+        assert np.allclose(matrix[7], expected, atol=1e-12)
+
+
+class TestAbsorbingSets:
+    def test_paper_set_for_k_third(self):
+        assert paper_absorbing_states(12) == [0, 1, 2, 3, 9, 10, 11, 12]
+
+    def test_paper_set_needs_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            paper_absorbing_states(10)
+
+    def test_auto_set_contains_paper_set(self):
+        n = 12
+        auto = set(auto_absorbing_states(n, n // 3))
+        assert set(paper_absorbing_states(n)) <= auto
+
+    def test_chain_expected_times_positive_in_core(self):
+        chain = failstop_chain(12)
+        times = chain.expected_absorption_times()
+        assert times[6] > 1.0
+        assert times[0] == 0.0
+
+
+class TestHeadlineNumbers:
+    def test_bound_13_below_seven_for_paper_l(self):
+        """'The expected number of phases is less than 7.'"""
+        for n in (9, 30, 90, 300, 3000, 10**6):
+            assert expected_phases_bound_eq13(n) < 7.0
+
+    def test_bound_13_equals_collapsed_chain_row_sum(self):
+        """(13) is literally the fundamental-matrix row sum of R."""
+        for n in (30, 60, 90):
+            via_chain = collapsed_chain(n).expected_absorption_times()[0]
+            assert via_chain == pytest.approx(expected_phases_bound_eq13(n))
+
+    def test_collapsed_matrix_is_stochastic(self):
+        matrix = collapsed_matrix_R(60)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert (matrix >= 0).all()
+
+    def test_exact_chain_far_below_bound(self):
+        for n in (12, 30, 60):
+            chain = failstop_chain(n)
+            exact = chain.expected_absorption_times()[n // 2]
+            assert exact < expected_phases_bound_eq13(n)
+
+    def test_exact_roughly_constant_in_n(self):
+        values = [
+            failstop_chain(n).expected_absorption_times()[n // 2]
+            for n in (30, 60, 90)
+        ]
+        assert max(values) - min(values) < 0.5
+
+    def test_chebyshev_bound_eq7(self):
+        """w at the band edge respects w < 1/(2l²) = 1/3 (exactly eq. (7))."""
+        assert chebyshev_w_bound_eq7() == pytest.approx(1 / 3)
+        for n in (30, 60, 90, 300):
+            edge = band_edge_state(n)
+            w = majority_adoption_probability(n, n // 3, max(0, edge))
+            assert w < chebyshev_w_bound_eq7()
+
+    def test_paper_l_squared_value(self):
+        assert PAPER_L_SQUARED == 1.5
+
+
+class TestAbsorptionProbabilities:
+    def test_probabilities_sum_to_one(self):
+        chain = failstop_chain(12)
+        for state, targets in chain.absorption_probabilities().items():
+            assert sum(targets.values()) == pytest.approx(1.0)
+
+    def test_symmetry_around_centre(self):
+        """With the random tie-break the chain is exactly i ↔ n−i
+        symmetric: P[end high | i] = P[end low | n−i]."""
+        n = 12
+        chain = failstop_chain(n)
+        probabilities = chain.absorption_probabilities()
+        high = [s for s in chain.absorbing if s > n // 2]
+        low = [s for s in chain.absorbing if s < n // 2]
+        for i in range(n + 1):
+            p_high = sum(probabilities[i].get(s, 0.0) for s in high)
+            p_low_mirror = sum(
+                probabilities[n - i].get(s, 0.0) for s in low
+            )
+            assert p_high == pytest.approx(p_low_mirror, abs=1e-9)
+
+    def test_balanced_state_is_a_coin_flip(self):
+        n = 12
+        chain = failstop_chain(n)
+        probabilities = chain.absorption_probabilities()[n // 2]
+        high = sum(
+            p for s, p in probabilities.items() if s > n // 2
+        )
+        assert high == pytest.approx(0.5, abs=1e-9)
+
+    def test_supermajority_start_is_certain(self):
+        """Starting past 2n/3 the outcome is already locked."""
+        n = 12
+        chain = failstop_chain(n)
+        probabilities = chain.absorption_probabilities()[9]
+        assert sum(p for s, p in probabilities.items() if s > 6) == 1.0
+
+
+class TestChainVsSimulatedChain:
+    def test_monte_carlo_matches_fundamental_matrix(self):
+        chain = failstop_chain(12)
+        exact = chain.expected_absorption_times()[6]
+        simulated = chain.mean_simulated_absorption_time(6, runs=1500, seed=3)
+        assert simulated == pytest.approx(exact, rel=0.15)

@@ -1,0 +1,153 @@
+"""Tests for the Section 4.2 chain: balancing adversary, 1/(2Φ(l)) law."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.malicious_chain import (
+    balanced_ones_total,
+    expected_phases_bound_42,
+    k_for_l,
+    l_for_k,
+    malicious_chain,
+    malicious_transition_matrix_first_principles,
+    malicious_transition_matrix_paper,
+    one_step_absorption_estimate,
+    paper_absorbing_states,
+    paper_effective_ones,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBalancingAdversary:
+    def test_perfect_balance_within_reach(self):
+        n, k = 60, 6
+        # With 27..30 correct ones, the adversary can hit exactly n/2.
+        for ones in range(n // 2 - k, n // 2 + 1):
+            assert balanced_ones_total(n, k, ones) == n // 2
+
+    def test_adversary_cannot_remove_ones(self):
+        n, k = 60, 6
+        # Above n/2 correct ones, a = 0 is the best it can do.
+        for ones in range(n // 2 + 1, n - k + 1):
+            assert balanced_ones_total(n, k, ones) == ones
+
+    def test_adds_at_most_k(self):
+        n, k = 60, 6
+        assert balanced_ones_total(n, k, 0) == k
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            balanced_ones_total(60, 6, 60)
+
+    def test_paper_effective_ones_balanced_core(self):
+        n, k = 60, 6
+        centre = (n - k) // 2
+        for d in range(-k + 1, k):
+            assert paper_effective_ones(n, k, centre + d) == n // 2
+
+    def test_paper_effective_ones_shifts_beyond_k(self):
+        n, k = 60, 6
+        centre = (n - k) // 2
+        assert paper_effective_ones(n, k, centre + k + 3) == n // 2 + 3
+        assert paper_effective_ones(n, k, centre - k - 3) == n // 2 - 3
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("builder", [
+        malicious_transition_matrix_paper,
+        malicious_transition_matrix_first_principles,
+    ])
+    def test_stochastic(self, builder):
+        matrix = builder(60, 6)
+        assert matrix.shape == (55, 55)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert (matrix >= 0).all()
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            malicious_transition_matrix_paper(60, 13)  # k > n/5
+        with pytest.raises(ConfigurationError):
+            malicious_transition_matrix_paper(61, 5)  # odd n
+        with pytest.raises(ConfigurationError):
+            malicious_chain(60, 6, model="weird")
+
+    def test_absorbing_set_matches_paper(self):
+        n, k = 60, 6
+        states = paper_absorbing_states(n, k)
+        low = [j for j in states if j < (n - k) // 2]
+        high = [j for j in states if j > (n - k) // 2]
+        assert max(low) == (n - 3 * k) // 2 - 1  # 0 .. (n−3k)/2 − 1
+        assert min(high) == (n + k) // 2 + 1  # (n+k)/2 + 1 .. n−k
+
+    def test_balanced_row_is_symmetric_fair(self):
+        n, k = 60, 6
+        matrix = malicious_transition_matrix_paper(n, k)
+        balanced = (n - k) // 2
+        row = matrix[balanced]
+        assert row.argmax() == balanced  # centred binomial
+
+
+class TestHeadlineNumbers:
+    def test_expected_time_grows_with_l(self):
+        chains = [(60, 4), (60, 6), (60, 8)]
+        expectations = []
+        for n, k in chains:
+            chain = malicious_chain(n, k)
+            expectations.append(
+                chain.expected_absorption_times()[(n - k) // 2]
+            )
+        assert expectations == sorted(expectations)
+
+    def test_constant_in_n_for_fixed_l(self):
+        """k = l√n/2 with fixed l ⇒ ~constant expected absorption."""
+        expectations = []
+        for n in (100, 200, 400):
+            k = k_for_l(n, 2.0)
+            if (n - k) % 2:
+                k += 1
+            chain = malicious_chain(n, k)
+            expectations.append(
+                chain.expected_absorption_times()[(n - k) // 2]
+            )
+        # Flat within a factor ~1.7 across a 4x range of n (and shrinking
+        # toward the asymptotic law as n grows).
+        assert max(expectations) / min(expectations) < 1.7
+
+    def test_one_step_estimate_converges_to_2phi(self):
+        """Eq. (2) of §4.2 sharpens as n grows at fixed l."""
+        gaps = []
+        for n in (100, 400, 1600):
+            k = k_for_l(n, 2.0)
+            if (n - k) % 2:
+                k += 1
+            chain = malicious_chain(n, k)
+            balanced = (n - k) // 2
+            actual = chain.one_step_absorption_probability(balanced)
+            estimate = one_step_absorption_estimate(n, k)
+            gaps.append(abs(actual - estimate) / estimate)
+        assert gaps[-1] < gaps[0]
+
+    def test_bound_is_inverse_of_2phi(self):
+        from repro.analysis.normal import phi_upper_tail
+
+        for l in (0.5, 1.0, 2.0):
+            assert expected_phases_bound_42(l) == pytest.approx(
+                1.0 / (2.0 * phi_upper_tail(l))
+            )
+
+    def test_small_l_means_constant_time(self):
+        """k = o(√n): l → 0, bound → 1 — §4.2's closing conclusion."""
+        assert expected_phases_bound_42(0.0) == pytest.approx(1.0)
+        assert expected_phases_bound_42(0.1) < 1.2
+
+    def test_l_k_roundtrip(self):
+        assert l_for_k(100, 10) == pytest.approx(2.0)
+        assert k_for_l(100, 2.0) == 10
+
+    def test_mechanistic_absorbs_faster_than_paper(self):
+        """The one-sided adversary is weaker: absorption is faster."""
+        n, k = 60, 6
+        balanced = (n - k) // 2
+        paper = malicious_chain(n, k, "paper").expected_absorption_times()[balanced]
+        mech = malicious_chain(n, k, "mechanistic").expected_absorption_times()[balanced]
+        assert mech < paper

@@ -1,0 +1,51 @@
+"""Tests for the Φ tail function and the eq. (2) normal approximation."""
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro.analysis.normal import normal_tail_approximation, phi_upper_tail
+
+
+class TestPhi:
+    def test_phi_zero_is_half(self):
+        """Eq. (10) requires Φ(0) = 1/2 — the upper-tail reading."""
+        assert phi_upper_tail(0.0) == pytest.approx(0.5)
+
+    def test_phi_matches_scipy_sf(self):
+        for x in (-3.0, -1.0, 0.0, 0.5, 1.2247, 2.0, 5.0):
+            assert phi_upper_tail(x) == pytest.approx(
+                stats.norm.sf(x), rel=1e-12
+            )
+
+    def test_phi_symmetry(self):
+        for x in (0.3, 1.0, 2.5):
+            assert phi_upper_tail(x) + phi_upper_tail(-x) == pytest.approx(1.0)
+
+    def test_far_tail_is_stable(self):
+        """Φ((√n+3l)/√8) for large n must not underflow to garbage."""
+        value = phi_upper_tail(1000.0)
+        assert 0.0 <= value < 1e-300
+
+    def test_paper_l_value(self):
+        """Φ(√1.5) ≈ 0.1103, the denominator of the < 7 bound."""
+        assert phi_upper_tail(math.sqrt(1.5)) == pytest.approx(0.1103, abs=1e-3)
+
+
+class TestNormalApproximation:
+    def test_matches_exact_binomial_tail_in_bulk(self):
+        n, p = 400, 0.5
+        for j in (200, 210, 220, 230):
+            exact = stats.binom(n, p).sf(j - 1)  # P[X >= j]
+            approx = normal_tail_approximation(n, p, j)
+            assert approx == pytest.approx(exact, abs=0.02)
+
+    def test_degenerate_probabilities(self):
+        assert normal_tail_approximation(10, 0.0, 1) == 0.0
+        assert normal_tail_approximation(10, 0.0, 0) == 1.0
+        assert normal_tail_approximation(10, 1.0, 10) == 1.0
+        assert normal_tail_approximation(10, 1.0, 11) == 0.0
+
+    def test_at_the_mean_is_half(self):
+        assert normal_tail_approximation(100, 0.5, 50) == pytest.approx(0.5)

@@ -1,0 +1,65 @@
+"""The public API surface: importability and __all__ hygiene."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing name {name}"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.net",
+            "repro.sim",
+            "repro.procs",
+            "repro.core",
+            "repro.faults",
+            "repro.baselines",
+            "repro.broadcast",
+            "repro.analysis",
+            "repro.lowerbounds",
+            "repro.harness",
+        ],
+    )
+    def test_subpackages_import_cleanly(self, module):
+        imported = importlib.import_module(module)
+        for name in getattr(imported, "__all__", []):
+            assert hasattr(imported, name)
+
+    def test_quickstart_snippet_from_readme(self):
+        """The README quickstart must actually run."""
+        from repro import FailStopConsensus, Simulation
+
+        n, k = 7, 3
+        inputs = [0, 1, 0, 1, 1, 0, 1]
+        processes = [
+            FailStopConsensus(pid, n, k, inputs[pid]) for pid in range(n)
+        ]
+        result = Simulation(processes, seed=42).run()
+        result.check_agreement()
+        assert result.consensus_value in (0, 1)
+
+    def test_exception_hierarchy(self):
+        from repro import (
+            AgreementViolation,
+            ConfigurationError,
+            DecisionOverwriteError,
+            InvariantViolation,
+            ReproError,
+            SimulationLimitError,
+        )
+
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(InvariantViolation, ReproError)
+        assert issubclass(DecisionOverwriteError, InvariantViolation)
+        assert issubclass(AgreementViolation, InvariantViolation)
+        assert issubclass(SimulationLimitError, ReproError)

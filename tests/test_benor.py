@@ -1,0 +1,139 @@
+"""Tests for the Ben-Or baseline ([BenO83])."""
+
+import pytest
+
+from repro.baselines.benor import BenOrConsensus, BenOrProposal, BenOrReport, BOTTOM
+from repro.errors import ConfigurationError
+from repro.faults.byzantine import SilentByzantine
+from repro.harness.builders import build_benor_processes
+from repro.harness.workloads import balanced_inputs, split_inputs, unanimous_inputs
+from repro.net.message import Envelope
+from repro.sim.kernel import Simulation
+
+
+def _feed(process, sender, payload):
+    return process.step(Envelope(sender=sender, recipient=process.pid, payload=payload))
+
+
+class TestThresholds:
+    def test_failstop_bound(self):
+        BenOrConsensus(0, 5, 2, 0)
+        with pytest.raises(ConfigurationError):
+            BenOrConsensus(0, 5, 3, 0)
+
+    def test_malicious_bound(self):
+        BenOrConsensus(0, 11, 2, 0, fault_model="malicious")
+        with pytest.raises(ConfigurationError):
+            BenOrConsensus(0, 10, 2, 0, fault_model="malicious")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenOrConsensus(0, 5, 1, 0, fault_model="pigeon")
+
+
+class TestRoundMachinery:
+    def test_start_broadcasts_round0_report(self):
+        process = BenOrConsensus(1, 5, 2, 1)
+        sends = process.start()
+        assert len(sends) == 5
+        assert all(s.payload == BenOrReport(round=0, value=1) for s in sends)
+
+    def test_report_majority_becomes_proposal(self):
+        process = BenOrConsensus(0, 5, 2, 0)
+        process.start()
+        sends = []
+        for sender in (1, 2, 3):
+            sends = _feed(process, sender, BenOrReport(round=0, value=1))
+        assert process.stage == "proposal"
+        proposals = [s.payload for s in sends]
+        assert all(p == BenOrProposal(round=0, value=1) for p in proposals)
+
+    def test_no_majority_proposes_bottom(self):
+        process = BenOrConsensus(0, 5, 2, 0)
+        process.start()
+        _feed(process, 1, BenOrReport(round=0, value=1))
+        _feed(process, 2, BenOrReport(round=0, value=0))
+        sends = _feed(process, 3, BenOrReport(round=0, value=1))
+        # 2 of 3 reports say 1, but 2 is not > n/2 = 2.5: propose ⊥.
+        assert all(s.payload.value is BOTTOM for s in sends)
+
+    def test_decides_on_more_than_t_value_proposals(self):
+        process = BenOrConsensus(0, 5, 2, 0)
+        process.start()
+        for sender in (1, 2, 3):
+            _feed(process, sender, BenOrReport(round=0, value=1))
+        for sender in (1, 2, 3):
+            _feed(process, sender, BenOrProposal(round=0, value=1))
+        assert process.decided
+        assert process.decision.value == 1
+
+    def test_single_value_proposal_adopts_without_deciding(self):
+        process = BenOrConsensus(0, 5, 2, 0)
+        process.start()
+        for sender in (1, 2, 3):
+            _feed(process, sender, BenOrReport(round=0, value=0))
+        _feed(process, 1, BenOrProposal(round=0, value=1))
+        _feed(process, 2, BenOrProposal(round=0, value=BOTTOM))
+        _feed(process, 3, BenOrProposal(round=0, value=BOTTOM))
+        assert not process.decided
+        assert process.value == 1  # adopted the lone non-⊥ proposal
+        assert process.round == 1
+
+    def test_all_bottom_flips_coin(self):
+        process = BenOrConsensus(0, 5, 2, 0, seed=3)
+        process.start()
+        for sender in (1, 2, 3):
+            _feed(process, sender, BenOrReport(round=0, value=0))
+        for sender in (1, 2, 3):
+            _feed(process, sender, BenOrProposal(round=0, value=BOTTOM))
+        assert process.coin_flips == 1
+        assert process.value in (0, 1)
+
+    def test_future_round_messages_deferred(self):
+        process = BenOrConsensus(0, 5, 2, 0)
+        process.start()
+        _feed(process, 1, BenOrReport(round=3, value=1))
+        assert len(process._deferred) == 1
+
+
+class TestIntegration:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_failstop_agreement(self, seed):
+        processes = build_benor_processes(7, 3, balanced_inputs(7))
+        result = Simulation(processes, seed=seed).run(max_steps=2_000_000)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_validity(self, value):
+        processes = build_benor_processes(7, 3, unanimous_inputs(7, value))
+        result = Simulation(processes, seed=0).run(max_steps=2_000_000)
+        assert result.consensus_value == value
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_failstop_with_crashes(self, seed):
+        processes = build_benor_processes(
+            7, 3, split_inputs(7, 4),
+            crashes={0: {"crash_at_step": 2}, 1: {"crash_at_step": 0}},
+        )
+        result = Simulation(processes, seed=seed).run(max_steps=2_000_000)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_malicious_with_silent_byzantine(self, seed):
+        processes = build_benor_processes(
+            11, 2, balanced_inputs(11), fault_model="malicious",
+            byzantine={10: lambda pid, n, t, v: SilentByzantine(pid, n, v)},
+        )
+        result = Simulation(processes, seed=seed).run(max_steps=5_000_000)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    def test_coin_flips_happen_from_balanced_starts(self):
+        flipped = 0
+        for seed in range(8):
+            processes = build_benor_processes(9, 4, balanced_inputs(9))
+            Simulation(processes, seed=seed).run(max_steps=2_000_000)
+            flipped += sum(getattr(p, "coin_flips", 0) for p in processes)
+        assert flipped > 0

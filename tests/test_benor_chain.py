@@ -1,0 +1,104 @@
+"""Tests for the Ben-Or Markov model (the analytic E9 comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.benor_chain import (
+    adoption_probability,
+    benor_chain,
+    benor_transition_matrix,
+    expected_rounds_from_balanced,
+    proposal_probability,
+)
+from repro.analysis.failstop_chain import failstop_chain
+from repro.errors import ConfigurationError
+
+
+class TestProposalProbability:
+    def test_unanimous_pool_always_proposes(self):
+        assert proposal_probability(9, 4, 9, 1) == pytest.approx(1.0)
+        assert proposal_probability(9, 4, 0, 0) == pytest.approx(1.0)
+
+    def test_balanced_pool_rarely_proposes(self):
+        n = 9
+        q1 = proposal_probability(n, 4, n // 2, 1)
+        q0 = proposal_probability(n, 4, n // 2, 0)
+        assert q1 < 0.2
+        # At most one value proposable: with 4 ones of 9, never 1.
+        assert q1 == 0.0 or q0 == 0.0
+
+    def test_exclusive_proposability(self):
+        """No state lets both values reach the > n/2 sample threshold."""
+        n, t = 13, 6
+        for ones in range(n + 1):
+            q1 = proposal_probability(n, t, ones, 1)
+            q0 = proposal_probability(n, t, ones, 0)
+            assert min(q1, q0) == 0.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            proposal_probability(9, 4, 10, 1)
+
+
+class TestAdoptionProbability:
+    def test_no_proposals_no_adoption(self):
+        assert adoption_probability(9, 4, 0) == 0.0
+
+    def test_many_proposals_certain(self):
+        assert adoption_probability(9, 4, 5) == 1.0  # > t: unavoidable
+
+    def test_monotone_in_count(self):
+        values = [adoption_probability(9, 4, c) for c in range(10)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestChain:
+    def test_matrix_stochastic(self):
+        matrix = benor_transition_matrix(9, 4)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert (matrix >= 0).all()
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            benor_transition_matrix(8, 4)  # 2t >= n
+
+    def test_unanimity_absorbs(self):
+        chain = benor_chain(9, 4)
+        times = chain.expected_absorption_times()
+        assert times[0] == 0.0 and times[9] == 0.0
+        assert times[4] > 1.0
+
+    def test_symmetry(self):
+        """Fair coins and symmetric thresholds: E[i] = E[n−i]."""
+        n = 9
+        chain = benor_chain(n, 4)
+        times = chain.expected_absorption_times()
+        for i in range(n + 1):
+            assert times[i] == pytest.approx(times[n - i], rel=1e-6)
+
+
+class TestTheComparison:
+    def test_expected_rounds_grow_superlinearly(self):
+        """The exponential fuse: each +4 processes ≈ triples the wait."""
+        values = [expected_rounds_from_balanced(n) for n in (5, 9, 13, 17)]
+        assert values == sorted(values)
+        assert values[-1] / values[0] > 10
+        ratios = [b / a for a, b in zip(values, values[1:])]
+        assert all(r > 1.5 for r in ratios)
+
+    def test_bracha_toueg_stays_flat_meanwhile(self):
+        benor_growth = expected_rounds_from_balanced(17) / (
+            expected_rounds_from_balanced(5)
+        )
+        bt = [
+            failstop_chain(n).expected_absorption_times()[n // 2]
+            for n in (12, 18, 24)
+        ]
+        assert max(bt) - min(bt) < 0.5
+        assert benor_growth > 10
+
+    def test_chain_matches_simulation_scale(self):
+        """The analytic chain lands in the same decade as E9's simulated
+        means (n = 9: sims gave ~6–8 rounds)."""
+        expected = expected_rounds_from_balanced(9)
+        assert 3.0 < expected < 13.0

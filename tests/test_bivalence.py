@@ -1,0 +1,100 @@
+"""Tests for the Section 5 bivalence taxonomy."""
+
+from repro.core.fail_stop import FailStopConsensus
+from repro.faults.byzantine import BalancingEchoByzantine
+from repro.harness.builders import (
+    build_failstop_processes,
+    build_malicious_processes,
+)
+from repro.harness.workloads import balanced_inputs, split_inputs
+from repro.lowerbounds.bivalence import (
+    BivalenceReport,
+    classify_bivalence,
+    ConstantProtocol,
+    monte_carlo_reachable_values,
+)
+from repro.sim.kernel import Simulation
+
+SEEDS = list(range(80))
+
+
+class TestConstantProtocol:
+    def test_always_decides_zero(self):
+        for inputs in ([0] * 4, [1] * 4, [0, 1, 0, 1]):
+            processes = [ConstantProtocol(pid, 4, inputs[pid]) for pid in range(4)]
+            result = Simulation(processes, seed=0).run()
+            assert result.consensus_value == 0
+
+    def test_fails_every_bivalence_interpretation(self):
+        report = classify_bivalence(
+            lambda seed: [ConstantProtocol(pid, 4, seed % 2) for pid in range(4)],
+            None,
+            SEEDS,
+        )
+        assert not report.strong
+        assert not report.intermediate
+        assert not report.weak
+
+
+class TestPaperProtocols:
+    def test_figure1_is_strongly_bivalent(self):
+        # A 4-of-7 split: the tie-break favours 0 and the majority
+        # favours 1, so both outcomes occur at practical rates.
+        report = classify_bivalence(
+            lambda seed: build_failstop_processes(7, 3, split_inputs(7, 4)),
+            lambda seed: build_failstop_processes(
+                7, 3, split_inputs(7, 4),
+                crashes={0: {"crash_at_step": 2}},
+            ),
+            SEEDS,
+        )
+        assert report.strong
+        assert report.intermediate
+        assert report.weak
+
+    def test_figure2_is_strongly_bivalent(self):
+        report = classify_bivalence(
+            lambda seed: build_malicious_processes(7, 2, split_inputs(7, 4)),
+            lambda seed: build_malicious_processes(
+                7, 2, split_inputs(7, 4),
+                byzantine={6: BalancingEchoByzantine},
+            ),
+            SEEDS,
+            max_steps=3_000_000,
+        )
+        assert report.strong
+
+
+class TestMonteCarlo:
+    def test_positive_certificates_only(self):
+        """Observed values are genuinely reachable (consistent protocol)."""
+        values = monte_carlo_reachable_values(
+            lambda seed: build_failstop_processes(5, 2, balanced_inputs(5)),
+            seeds=range(10),
+        )
+        assert values <= {0, 1}
+        assert values  # something always decides
+
+    def test_early_exit_once_both_seen(self):
+        calls = []
+
+        def factory(seed):
+            calls.append(seed)
+            return build_failstop_processes(5, 2, balanced_inputs(5))
+
+        monte_carlo_reachable_values(factory, seeds=range(100))
+        assert len(calls) < 100  # stopped as soon as both values observed
+
+
+class TestReportFlags:
+    def test_flag_semantics(self):
+        both = frozenset({0, 1})
+        only0 = frozenset({0})
+        r = BivalenceReport(values_all_correct=both, values_with_faults=both)
+        assert r.strong and r.intermediate and r.weak
+        r = BivalenceReport(values_all_correct=both, values_with_faults=only0)
+        assert not r.strong and r.intermediate and r.weak
+        r = BivalenceReport(values_all_correct=only0, values_with_faults=both)
+        assert not r.strong and not r.intermediate and r.weak
+        r = BivalenceReport(values_all_correct=only0, values_with_faults=only0)
+        assert not r.strong and not r.intermediate and not r.weak

@@ -1,0 +1,45 @@
+"""Tests for the repro-consensus CLI."""
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_list_shows_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("E1", "E3", "E10"):
+            assert key in out
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "e999"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_run_e5_prints_table(self, capsys):
+        assert main(["run", "e5"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+        assert "SPLIT" in out
+
+    def test_run_e6_prints_table(self, capsys):
+        assert main(["run", "E6"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3" in out
+
+    def test_run_markdown_format(self, capsys):
+        assert main(["run", "e5", "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| protocol |" in out
+        separator_rows = [
+            line for line in out.splitlines() if line.startswith("|---")
+        ]
+        assert len(separator_rows) == 1
+
+    def test_run_csv_format(self, capsys):
+        assert main(["run", "e6", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "protocol,n,k,regime,outcome"
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 2" in out

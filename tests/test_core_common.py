@@ -1,0 +1,97 @@
+"""Unit tests for the shared threshold arithmetic."""
+
+import pytest
+
+from repro.core.common import (
+    acceptance_threshold,
+    decision_threshold,
+    majority_value,
+    max_failstop_resilience,
+    max_malicious_resilience,
+    strictly_more_than_half,
+    validate_failstop_parameters,
+    validate_malicious_parameters,
+    witness_cardinality_threshold,
+)
+from repro.errors import ConfigurationError
+
+
+class TestThresholds:
+    @pytest.mark.parametrize(
+        "total,expected", [(1, 1), (2, 2), (3, 2), (4, 3), (7, 4), (10, 6)]
+    )
+    def test_strictly_more_than_half(self, total, expected):
+        assert strictly_more_than_half(total) == expected
+        # Definitional check: the smallest integer m with m > total/2.
+        assert expected > total / 2
+        assert expected - 1 <= total / 2
+
+    @pytest.mark.parametrize("n", range(1, 30))
+    def test_witness_threshold_is_strict_majority(self, n):
+        threshold = witness_cardinality_threshold(n)
+        assert threshold > n / 2
+        assert threshold - 1 <= n / 2
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (7, 2), (10, 3), (13, 4), (16, 5)])
+    def test_acceptance_threshold_exceeds_half_of_n_plus_k(self, n, k):
+        threshold = acceptance_threshold(n, k)
+        assert threshold > (n + k) / 2
+        assert threshold - 1 <= (n + k) / 2
+        assert decision_threshold(n, k) == threshold
+
+    def test_acceptance_reachable_within_bound(self):
+        """n−k correct echoes must be able to meet the quorum when n > 3k."""
+        for n in range(4, 40):
+            k = max_malicious_resilience(n)
+            assert n - k >= acceptance_threshold(n, k)
+
+
+class TestResilienceBounds:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (9, 4), (10, 4)]
+    )
+    def test_failstop_bound(self, n, expected):
+        assert max_failstop_resilience(n) == expected
+
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 0), (3, 0), (4, 1), (6, 1), (7, 2), (10, 3), (13, 4)]
+    )
+    def test_malicious_bound(self, n, expected):
+        assert max_malicious_resilience(n) == expected
+
+    def test_paper_headline_counts(self):
+        """⌈(n+1)/2⌉ / ⌈(2n+1)/3⌉ correct processes are what the bounds leave."""
+        for n in range(2, 50):
+            correct_needed_failstop = n - max_failstop_resilience(n)
+            assert correct_needed_failstop == (n + 2) // 2  # ⌈(n+1)/2⌉ as int
+            correct_needed_malicious = n - max_malicious_resilience(n)
+            assert correct_needed_malicious == -(-(2 * n + 1) // 3)  # ⌈(2n+1)/3⌉
+
+    def test_validation_rejects_excess(self):
+        with pytest.raises(ConfigurationError):
+            validate_failstop_parameters(7, 4)
+        with pytest.raises(ConfigurationError):
+            validate_malicious_parameters(7, 3)
+
+    def test_validation_allows_excess_when_asked(self):
+        validate_failstop_parameters(7, 4, allow_excessive_k=True)
+        validate_malicious_parameters(7, 3, allow_excessive_k=True)
+
+    def test_validation_rejects_nonsense(self):
+        with pytest.raises(ConfigurationError):
+            validate_failstop_parameters(0, 0)
+        with pytest.raises(ConfigurationError):
+            validate_failstop_parameters(3, -1)
+        with pytest.raises(ConfigurationError):
+            validate_failstop_parameters(3, 3, allow_excessive_k=True)
+
+
+class TestMajority:
+    def test_strict_majority_rule(self):
+        assert majority_value(2, 3) == 1
+        assert majority_value(3, 2) == 0
+
+    def test_tie_goes_to_zero(self):
+        """Figure 1/2: 'if message_count(1) > message_count(0) then 1 else 0'."""
+        assert majority_value(2, 2) == 0
+        assert majority_value(0, 0) == 0

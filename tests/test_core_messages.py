@@ -1,0 +1,58 @@
+"""Tests for protocol message types and the wildcard phase sentinel."""
+
+import copy
+import pickle
+
+from repro.core.messages import (
+    STAR,
+    EchoMessage,
+    FailStopMessage,
+    InitialMessage,
+    SimpleMessage,
+    _PhaseStar,
+)
+
+
+class TestStar:
+    def test_singleton(self):
+        assert _PhaseStar() is STAR
+
+    def test_survives_deepcopy(self):
+        message = EchoMessage(origin=1, value=0, phaseno=STAR)
+        clone = copy.deepcopy(message)
+        assert clone.phaseno is STAR
+
+    def test_survives_pickle(self):
+        message = InitialMessage(origin=2, value=1, phaseno=STAR)
+        clone = pickle.loads(pickle.dumps(message))
+        assert clone.phaseno is STAR
+
+    def test_repr(self):
+        assert repr(STAR) == "*"
+
+    def test_star_is_not_an_int_phase(self):
+        assert not isinstance(STAR, int)
+        assert STAR != 0
+
+
+class TestMessages:
+    def test_frozen_and_hashable(self):
+        messages = [
+            FailStopMessage(1, 0, 3),
+            InitialMessage(0, 1, 2),
+            EchoMessage(3, 0, 1),
+            SimpleMessage(0, 1),
+        ]
+        assert len({*messages, *messages}) == 4
+
+    def test_equality_by_value(self):
+        assert FailStopMessage(1, 0, 3) == FailStopMessage(1, 0, 3)
+        assert EchoMessage(1, 0, STAR) == EchoMessage(1, 0, STAR)
+        assert InitialMessage(1, 0, 2) != InitialMessage(1, 0, 3)
+
+    def test_immutable(self):
+        import pytest
+
+        message = SimpleMessage(0, 1)
+        with pytest.raises(Exception):
+            message.value = 0

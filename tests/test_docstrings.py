@@ -1,0 +1,100 @@
+"""Meta-test: every public item in the library is documented.
+
+A reproduction is only adoptable if its API explains itself; this test
+walks the whole ``repro`` package and fails on any public module,
+class, function, or method without a docstring.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+EXEMPT_METHOD_NAMES = {
+    # Inherited/dunder machinery documented on the base class.
+    "__init__",
+}
+
+
+def _inherits_documented_contract(cls, method_name: str) -> bool:
+    """True when a base class documents this method (an override
+    implementing an already-documented interface contract)."""
+    for base in cls.__mro__[1:]:
+        base_method = vars(base).get(method_name)
+        if base_method is None:
+            continue
+        doc = (
+            base_method.fget.__doc__
+            if isinstance(base_method, property) and base_method.fget
+            else getattr(base_method, "__doc__", None)
+        )
+        if (doc or "").strip():
+            return True
+    return False
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.getmodule(obj) is not module:
+            continue  # re-exports documented at their origin
+        yield name, obj
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+class TestDocstrings:
+    def test_every_module_has_a_docstring(self):
+        undocumented = [
+            module.__name__
+            for module in _iter_modules()
+            if not (module.__doc__ or "").strip()
+        ]
+        assert not undocumented, f"modules without docstrings: {undocumented}"
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for module in _iter_modules():
+            for name, obj in _public_members(module):
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not (obj.__doc__ or "").strip():
+                        undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, (
+            f"public items without docstrings: {undocumented}"
+        )
+
+    def test_public_methods_documented(self):
+        undocumented = []
+        for module in _iter_modules():
+            for class_name, cls in _public_members(module):
+                if not inspect.isclass(cls):
+                    continue
+                for method_name, method in vars(cls).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if method_name in EXEMPT_METHOD_NAMES:
+                        continue
+                    if not callable(method) and not isinstance(
+                        method, property
+                    ):
+                        continue
+                    doc = (
+                        method.fget.__doc__
+                        if isinstance(method, property) and method.fget
+                        else getattr(method, "__doc__", None)
+                    )
+                    if not (doc or "").strip() and not _inherits_documented_contract(
+                        cls, method_name
+                    ):
+                        undocumented.append(
+                            f"{module.__name__}.{class_name}.{method_name}"
+                        )
+        assert not undocumented, (
+            f"public methods without docstrings: {undocumented}"
+        )

@@ -1,0 +1,136 @@
+"""The equivocation attack: why Figure 2 needs its echo layer.
+
+The Section 4.1 simple-majority variant trusts values directly; an
+equivocating malicious process can therefore tell different correct
+processes different things in the same phase.  This module builds the
+concrete three-correct/one-liar scenario in which that splits the
+system — and then runs the *identical* adversary against Figure 2,
+where the echo quorum intersection makes the attack impossible.
+
+This is the executable motivation for the initial/echo machinery: the
+attack works against the unprotected protocol and provably cannot work
+against the protected one.
+"""
+
+from repro.core.simple_majority import SimpleMajorityConsensus
+from repro.faults.byzantine import EquivocatingEchoByzantine
+from repro.harness.builders import build_malicious_processes
+from repro.sim.kernel import Simulation
+from repro.procs.base import Process, Send
+from repro.core.messages import SimpleMessage
+
+
+class _TargetedEquivocator(Process):
+    """Sends 0 to its low-half targets and 1 to the rest, every phase.
+
+    Phase-aware: it watches the phase numbers of incoming traffic and
+    always speaks in the highest phase it has seen, so its lies stay
+    relevant as the correct processes advance.
+    """
+
+    is_correct = False
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self.input_value = 0
+        self._spoken_phases: set[int] = set()
+
+    def _speak(self, phase: int) -> list[Send]:
+        if phase in self._spoken_phases:
+            return []
+        self._spoken_phases.add(phase)
+        half = self.n // 2
+        return [
+            Send(r, SimpleMessage(phaseno=phase, value=0 if r < half else 1))
+            for r in range(self.n)
+        ]
+
+    def start(self) -> list[Send]:
+        return self._speak(0)
+
+    def step(self, envelope) -> list[Send]:
+        if envelope is None:
+            return []
+        phase = getattr(envelope.payload, "phaseno", None)
+        if isinstance(phase, int):
+            return self._speak(phase)
+        return []
+
+
+class TestSimpleMajorityIsBreakable:
+    def test_equivocation_splits_simple_majority(self):
+        """Some schedule + equivocator ⇒ agreement violation in §4.1 variant.
+
+        n = 4, k = 1 (within the variant's claimed bound!): pids 0–2
+        correct with inputs (1, 1, 0), pid 3 the equivocator telling
+        0/1 to the two halves.  Under uniform random delivery some seed
+        exhibits the split — the point is that *no* schedule may do so
+        for Figure 2.
+        """
+        from repro.errors import DecisionOverwriteError
+
+        n, k = 4, 1
+        violations = 0
+        for seed in range(60):
+            processes = [
+                SimpleMajorityConsensus(0, n, k, 1),
+                SimpleMajorityConsensus(1, n, k, 1),
+                SimpleMajorityConsensus(2, n, k, 0),
+                _TargetedEquivocator(3, n),
+            ]
+            try:
+                result = Simulation(processes, seed=seed).run(max_steps=120_000)
+            except DecisionOverwriteError:
+                # The same process was driven to decide both values — the
+                # write-once register catching the safety violation live.
+                violations += 1
+                continue
+            if not result.agreement_holds:
+                violations += 1
+        assert violations > 0, (
+            "the equivocation attack should break the echo-less variant "
+            "on some schedule"
+        )
+
+    def test_same_adversary_cannot_break_figure2(self):
+        """The identical split-brain strategy against Figure 2: harmless."""
+        n, k = 4, 1
+        for seed in range(30):
+            processes = build_malicious_processes(
+                n, k, [1, 1, 0, 0],
+                byzantine={3: EquivocatingEchoByzantine},
+            )
+            result = Simulation(processes, seed=seed).run(max_steps=2_000_000)
+            result.check_agreement()
+            assert result.all_correct_decided
+
+    def test_at_most_one_lie_accepted_systemwide(self):
+        """Against Figure 2, at most one of the equivocator's two values
+        is ever accepted, and identically so at every correct process."""
+        from repro.core.malicious import MaliciousConsensus
+
+        n, k = 4, 1
+        accepted: dict[int, set[int]] = {}
+
+        class Recorder(MaliciousConsensus):
+            def _apply_echo(self, origin, value):
+                before = origin in self._accepted_origins
+                super()._apply_echo(origin, value)
+                if not before and origin in self._accepted_origins and origin == 3:
+                    accepted.setdefault(self.phaseno, set()).add(value)
+
+        for seed in range(10):
+            accepted.clear()
+            processes = [
+                Recorder(0, n, k, 1),
+                Recorder(1, n, k, 1),
+                Recorder(2, n, k, 0),
+                EquivocatingEchoByzantine(3, n, k, 0),
+            ]
+            result = Simulation(processes, seed=seed).run(max_steps=2_000_000)
+            result.check_agreement()
+            for phase, values in accepted.items():
+                assert len(values) <= 1, (
+                    f"seed {seed}: equivocator accepted with both values "
+                    f"in phase {phase}"
+                )

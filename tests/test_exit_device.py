@@ -1,0 +1,114 @@
+"""Tests for the Section 3.3 exit device (wildcard-phase messages)."""
+
+import pytest
+
+from repro.core.malicious import MaliciousConsensus
+from repro.core.messages import STAR, EchoMessage, InitialMessage
+from repro.faults.byzantine import BalancingEchoByzantine, SilentByzantine
+from repro.harness.builders import build_malicious_processes
+from repro.harness.workloads import balanced_inputs, unanimous_inputs
+from repro.sim.kernel import Simulation
+
+
+def _run(n, k, inputs, exit_after_decide, byzantine=None, seed=0):
+    processes = build_malicious_processes(
+        n, k, inputs, byzantine=byzantine, exit_after_decide=exit_after_decide
+    )
+    return Simulation(processes, seed=seed).run(max_steps=3_000_000)
+
+
+class TestExitDevice:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exiting_mode_reaches_agreement(self, seed):
+        result = _run(4, 1, balanced_inputs(4), True, seed=seed)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exit_and_literal_modes_agree_on_unanimity(self, seed):
+        """Both modes must decide the unanimous input value."""
+        exiting = _run(7, 2, unanimous_inputs(7, 1), True, seed=seed)
+        literal = _run(7, 2, unanimous_inputs(7, 1), False, seed=seed)
+        assert exiting.consensus_value == literal.consensus_value == 1
+
+    def test_decided_process_actually_exits(self):
+        processes = build_malicious_processes(
+            4, 1, balanced_inputs(4), exit_after_decide=True
+        )
+        Simulation(processes, seed=3).run(max_steps=3_000_000)
+        for process in processes:
+            assert process.exited
+
+    def test_exit_broadcast_shape(self):
+        """On deciding, p sends (initial, p, i, *) and (echo, q, i, *) ∀q."""
+        process = MaliciousConsensus(0, 4, 1, 1, exit_after_decide=True)
+        process.start()
+        from repro.core.common import acceptance_threshold
+        from repro.net.message import Envelope
+
+        sends = []
+        for origin in (1, 2, 3):
+            for sender in range(acceptance_threshold(4, 1)):
+                sends = process.step(
+                    Envelope(
+                        sender=sender,
+                        recipient=0,
+                        payload=EchoMessage(origin=origin, value=1, phaseno=0),
+                    )
+                )
+        assert process.decided and process.exited
+        star_initials = [
+            s.payload for s in sends
+            if isinstance(s.payload, InitialMessage) and s.payload.phaseno is STAR
+        ]
+        star_echoes = [
+            s.payload for s in sends
+            if isinstance(s.payload, EchoMessage) and s.payload.phaseno is STAR
+        ]
+        n = 4
+        assert len(star_initials) == n  # one wildcard initial to each process
+        assert len(star_echoes) == n * n  # echoes for all q, to each process
+        assert {e.origin for e in star_echoes} == set(range(n))
+        assert all(e.value == 1 for e in star_echoes)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exit_device_with_byzantine(self, seed):
+        byzantine = {
+            5: BalancingEchoByzantine,
+            6: lambda pid, n, k, v: SilentByzantine(pid, n, v),
+        }
+        result = _run(7, 2, balanced_inputs(7), True, byzantine=byzantine, seed=seed)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    def test_star_messages_rescue_fresh_laggard(self):
+        """A starved process must finish on wildcard traffic alone.
+
+        Once the others decided and exited, only their star messages
+        remain; the laggard's quorums must regenerate from those.
+        """
+        from repro.net.schedulers import FilteredRandomScheduler
+
+        n, k = 4, 1
+        processes = build_malicious_processes(
+            n, k, unanimous_inputs(n, 1), exit_after_decide=True
+        )
+        laggard = 3
+        scheduler = FilteredRandomScheduler(lambda env: env.recipient != laggard)
+        sim = Simulation(processes, scheduler=scheduler, seed=1)
+        sim.run(
+            max_steps=1_000_000,
+            halt_when=lambda s: all(
+                p.decided for p in s.processes if p.pid != laggard
+            ),
+        )
+        assert not processes[laggard].decided
+        # Now deliver only *wildcard* traffic to the laggard: its own
+        # view of the regular phases stays forever undelivered.
+        scheduler.predicate = lambda env: (
+            env.recipient == laggard
+            and getattr(env.payload, "phaseno", None) is STAR
+        ) or env.recipient != laggard
+        result = sim.run(max_steps=1_000_000)
+        assert processes[laggard].decided
+        assert result.consensus_value == 1

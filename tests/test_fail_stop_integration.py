@@ -1,0 +1,149 @@
+"""Integration tests: full Figure 1 runs (Theorem 2's four properties)."""
+
+import pytest
+
+from repro.core.fail_stop import FailStopConsensus
+from repro.faults.crash import CrashableProcess
+from repro.harness.builders import build_failstop_processes
+from repro.harness.workloads import (
+    balanced_inputs,
+    split_inputs,
+    supermajority_inputs,
+    unanimous_inputs,
+)
+from repro.net.schedulers import FifoScheduler
+from repro.sim.kernel import Simulation
+from repro.sim.results import HaltReason
+
+
+def _run(n, k, inputs, seed=0, crashes=None, max_steps=500_000, **kwargs):
+    processes = build_failstop_processes(n, k, inputs, crashes=crashes, **kwargs)
+    return Simulation(processes, seed=seed).run(max_steps=max_steps)
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_no_faults(self, seed):
+        result = _run(7, 3, balanced_inputs(7), seed=seed)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_with_max_crashes(self, seed):
+        n, k = 9, 4
+        crashes = {
+            pid: {"crash_at_step": 2 + pid, "keep_sends": pid % 4}
+            for pid in range(k)
+        }
+        result = _run(n, k, balanced_inputs(n), seed=seed, crashes=crashes)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agreement_with_initially_dead(self, seed):
+        n, k = 7, 3
+        crashes = {pid: {"crash_at_step": 0} for pid in range(k)}
+        result = _run(n, k, split_inputs(n, 4), seed=seed, crashes=crashes)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    def test_crash_at_phase_trigger(self):
+        n, k = 7, 3
+        crashes = {0: {"crash_at_phase": 1}, 1: {"crash_at_phase": 2}}
+        result = _run(n, k, balanced_inputs(n), seed=3, crashes=crashes)
+        result.check_agreement()
+        assert result.crashed_pids == {0, 1}
+
+
+class TestValidity:
+    @pytest.mark.parametrize("value", [0, 1])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unanimous_inputs_decide_that_value(self, value, seed):
+        result = _run(7, 3, unanimous_inputs(7, value), seed=seed)
+        assert result.consensus_value == value
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unanimity_survives_crashes(self, seed):
+        n, k = 7, 3
+        crashes = {0: {"crash_at_step": 1, "keep_sends": 3}}
+        result = _run(n, k, unanimous_inputs(n, 1), seed=seed, crashes=crashes)
+        assert result.consensus_value == 1
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n,k", [(3, 1), (5, 2), (7, 3), (11, 5), (15, 7)])
+    def test_terminates_across_sizes(self, n, k):
+        result = _run(n, k, balanced_inputs(n), seed=n)
+        assert result.halt_reason is HaltReason.GOAL_REACHED
+        assert result.all_correct_decided
+
+    def test_k_zero_still_works(self):
+        result = _run(4, 0, split_inputs(4, 2), seed=1)
+        assert result.all_correct_decided
+
+    def test_supermajority_decides_fast(self):
+        """> (n+k)/2 same input ⇒ decision 'in just three phases'."""
+        n, k = 9, 4
+        for seed in range(5):
+            result = _run(n, k, supermajority_inputs(n, k, 1), seed=seed)
+            assert result.consensus_value == 1
+            assert max(result.phases_to_decide()) <= 3
+
+    def test_deterministic_scheduler_also_converges(self):
+        processes = build_failstop_processes(7, 3, balanced_inputs(7))
+        result = Simulation(processes, scheduler=FifoScheduler(), seed=0).run(
+            max_steps=500_000
+        )
+        assert result.all_correct_decided
+
+
+class TestDeferralEquivalence:
+    """Internal deferral vs the literal re-send-to-self are equivalent."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_decision_both_modes(self, seed):
+        n, k = 7, 3
+        inputs = split_inputs(n, 4)
+
+        def run(defer_internally):
+            processes = [
+                FailStopConsensus(
+                    pid, n, k, inputs[pid], defer_internally=defer_internally
+                )
+                for pid in range(n)
+            ]
+            # The deterministic FIFO scheduler makes the two modes
+            # comparable run-to-run.
+            return Simulation(processes, scheduler=FifoScheduler(), seed=seed).run(
+                max_steps=500_000
+            )
+
+        internal = run(True)
+        network = run(False)
+        assert internal.consensus_value == network.consensus_value
+        internal.check_agreement()
+        network.check_agreement()
+
+
+class TestLaggardRescue:
+    def test_decided_processes_help_stragglers(self):
+        """The two final broadcasts carry laggards over the line.
+
+        Force a skew: one process is starved (its deliveries delayed)
+        until everyone else decides, then gets only the final messages.
+        """
+        from repro.net.schedulers import FilteredRandomScheduler
+
+        n, k = 5, 2
+        processes = build_failstop_processes(n, k, unanimous_inputs(n, 1))
+        scheduler = FilteredRandomScheduler(lambda env: env.recipient != 4)
+        sim = Simulation(processes, scheduler=scheduler, seed=0)
+        sim.run(
+            max_steps=200_000,
+            halt_when=lambda s: all(p.decided for p in s.processes[:4]),
+        )
+        assert not processes[4].decided
+        scheduler.predicate = lambda env: True
+        result = sim.run(max_steps=200_000)
+        assert result.all_correct_decided
+        assert result.consensus_value == 1

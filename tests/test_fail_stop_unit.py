@@ -1,0 +1,213 @@
+"""Unit tests for the Figure 1 protocol's step-level logic.
+
+These drive a single process by hand-feeding envelopes, checking the
+pseudocode's case analysis line by line: counting, witness tallying,
+the end-of-phase update, the decision guard, deferral, and the final
+help broadcasts.
+"""
+
+import pytest
+
+from repro.core.fail_stop import FailStopConsensus
+from repro.core.messages import FailStopMessage
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.net.message import Envelope
+
+
+def _feed(process, sender, phaseno, value, cardinality):
+    envelope = Envelope(
+        sender=sender,
+        recipient=process.pid,
+        payload=FailStopMessage(phaseno=phaseno, value=value, cardinality=cardinality),
+    )
+    return process.step(envelope)
+
+
+class TestConstruction:
+    def test_initial_state_matches_figure1(self):
+        process = FailStopConsensus(0, 7, 3, 1)
+        assert process.value == 1
+        assert process.cardinality == 1
+        assert process.phaseno == 0
+        assert process.witness_count == [0, 0]
+        assert process.message_count == [0, 0]
+
+    def test_resilience_bound_enforced(self):
+        with pytest.raises(ConfigurationError):
+            FailStopConsensus(0, 7, 4, 0)
+        FailStopConsensus(0, 7, 4, 0, allow_excessive_k=True)
+
+    def test_input_domain_enforced(self):
+        with pytest.raises(InvariantViolation):
+            FailStopConsensus(0, 7, 3, 2)
+
+    def test_start_broadcasts_phase0_state(self):
+        process = FailStopConsensus(2, 5, 2, 1)
+        sends = process.start()
+        assert len(sends) == 5
+        assert {s.recipient for s in sends} == set(range(5))
+        for send in sends:
+            assert send.payload == FailStopMessage(0, 1, 1)
+
+
+class TestCounting:
+    def test_counts_same_phase_messages(self):
+        process = FailStopConsensus(0, 7, 3, 0)
+        process.start()
+        _feed(process, 1, 0, 1, 1)
+        assert process.message_count == [0, 1]
+
+    def test_witness_requires_cardinality_above_half(self):
+        process = FailStopConsensus(0, 7, 3, 0)
+        process.start()
+        _feed(process, 1, 0, 1, 3)  # 3 <= 7/2: not a witness
+        assert process.witness_count == [0, 0]
+        _feed(process, 2, 0, 1, 4)  # 4 > 7/2: witness
+        assert process.witness_count == [0, 1]
+
+    def test_stale_messages_dropped(self):
+        process = FailStopConsensus(0, 7, 3, 0)
+        process.start()
+        process.phaseno = 2
+        _feed(process, 1, 1, 1, 1)
+        assert process.message_count == [0, 0]
+
+    def test_future_messages_deferred_internally(self):
+        process = FailStopConsensus(0, 7, 3, 0)
+        process.start()
+        _feed(process, 1, 1, 1, 1)
+        assert process.message_count == [0, 0]
+        assert len(process._deferred) == 1
+
+    def test_future_messages_requeued_via_network_when_asked(self):
+        process = FailStopConsensus(0, 7, 3, 0, defer_internally=False)
+        process.start()
+        sends = _feed(process, 1, 1, 1, 1)
+        assert len(sends) == 1
+        assert sends[0].recipient == 0  # back to self, as Figure 1 writes
+        assert sends[0].payload.phaseno == 1
+
+    def test_foreign_payloads_ignored(self):
+        process = FailStopConsensus(0, 7, 3, 0)
+        process.start()
+        out = process.step(Envelope(sender=1, recipient=0, payload="garbage"))
+        assert out == []
+        assert process.message_count == [0, 0]
+
+    def test_phi_step_is_noop(self):
+        process = FailStopConsensus(0, 7, 3, 0)
+        process.start()
+        assert process.step(None) == []
+
+
+class TestPhaseTransition:
+    def test_phase_completes_at_n_minus_k(self):
+        process = FailStopConsensus(0, 5, 2, 0)
+        process.start()
+        _feed(process, 1, 0, 1, 1)
+        _feed(process, 2, 0, 1, 1)
+        assert process.phaseno == 0
+        sends = _feed(process, 3, 0, 0, 1)  # third message: n-k = 3 reached
+        assert process.phaseno == 1
+        # Majority of {1, 1, 0} is 1; cardinality = message set size of 1.
+        assert process.value == 1
+        assert process.cardinality == 2
+        # The new phase opens with a broadcast of the updated state.
+        assert len(sends) == 5
+        assert sends[0].payload == FailStopMessage(1, 1, 2)
+
+    def test_tie_breaks_to_zero(self):
+        process = FailStopConsensus(0, 4, 1, 1)
+        process.start()
+        _feed(process, 1, 0, 1, 1)
+        _feed(process, 2, 0, 0, 1)
+        _feed(process, 3, 0, 0, 1)
+        # Wait: counts are 0:2, 1:1 — majority 0.  Build a true tie instead.
+        assert process.value == 0
+
+    def test_exact_tie_prefers_zero(self):
+        process = FailStopConsensus(0, 5, 1, 1)
+        process.start()
+        _feed(process, 1, 0, 1, 1)
+        _feed(process, 2, 0, 1, 1)
+        _feed(process, 3, 0, 0, 1)
+        _feed(process, 4, 0, 0, 1)  # n-k = 4: tie 2-2
+        assert process.phaseno == 1
+        assert process.value == 0
+
+    def test_witness_overrides_majority(self):
+        """'If a process receives a witness for i it changes its value to i.'"""
+        process = FailStopConsensus(0, 5, 2, 0)
+        process.start()
+        _feed(process, 1, 0, 0, 1)
+        _feed(process, 2, 0, 0, 1)
+        sends = _feed(process, 3, 0, 1, 3)  # witness for 1 (3 > 5/2)
+        assert process.phaseno == 1
+        assert process.value == 1  # witness wins over the 2-1 majority
+        assert process.cardinality == 1
+
+    def test_deferred_messages_replayed_on_phase_entry(self):
+        process = FailStopConsensus(0, 5, 2, 0)
+        process.start()
+        # Three phase-1 messages arrive early and are deferred.
+        for sender in (1, 2, 3):
+            _feed(process, sender, 1, 0, 1)
+        assert process.phaseno == 0
+        # Completing phase 0 must chain straight through phase 1.
+        for sender in (1, 2):
+            _feed(process, sender, 0, 0, 1)
+        _feed(process, 3, 0, 0, 1)
+        assert process.phaseno == 2
+
+
+class TestDecision:
+    def test_decides_after_more_than_k_witnesses(self):
+        n, k = 5, 2
+        process = FailStopConsensus(0, n, k, 0)
+        process.start()
+        sends = []
+        for sender in (1, 2, 3):
+            sends = _feed(process, sender, 0, 0, 3)  # all witnesses for 0
+        assert process.decided
+        assert process.decision.value == 0
+        assert process.exited
+        # Final help: two full broadcasts with cardinality n-k.
+        assert len(sends) == 2 * n
+        phases = {send.payload.phaseno for send in sends}
+        assert phases == {process.phaseno, process.phaseno + 1}
+        assert all(send.payload.cardinality == n - k for send in sends)
+
+    def test_exactly_k_witnesses_do_not_decide(self):
+        process = FailStopConsensus(0, 5, 2, 0)
+        process.start()
+        _feed(process, 1, 0, 0, 3)
+        _feed(process, 2, 0, 0, 3)
+        _feed(process, 3, 0, 1, 1)  # completes the phase: only 2 = k witnesses
+        assert not process.decided
+        assert process.phaseno == 1
+
+    def test_decided_process_ignores_further_messages(self):
+        process = FailStopConsensus(0, 5, 2, 0)
+        process.start()
+        for sender in (1, 2, 3):
+            _feed(process, sender, 0, 0, 3)
+        assert process.exited
+        assert _feed(process, 4, 1, 1, 1) == []
+
+    def test_witnesses_for_both_values_is_invariant_violation(self):
+        process = FailStopConsensus(0, 5, 2, 0)
+        process.start()
+        _feed(process, 1, 0, 0, 3)
+        _feed(process, 2, 0, 1, 3)
+        with pytest.raises(InvariantViolation):
+            _feed(process, 3, 0, 0, 1)  # phase completes with mixed witnesses
+
+
+class TestStateKey:
+    def test_state_key_is_hashable_and_sensitive(self):
+        process = FailStopConsensus(0, 5, 2, 0)
+        process.start()
+        key_before = process.state_key()
+        hash(key_before)
+        _feed(process, 1, 0, 1, 1)
+        assert process.state_key() != key_before

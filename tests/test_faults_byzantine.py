@@ -1,0 +1,126 @@
+"""Tests for the Byzantine strategy implementations themselves."""
+
+import random
+
+from repro.core.messages import EchoMessage, InitialMessage, SimpleMessage
+from repro.faults.byzantine import (
+    AntiMajorityEchoByzantine,
+    BalancingEchoByzantine,
+    BalancingSimpleByzantine,
+    EquivocatingEchoByzantine,
+    EquivocatingSimpleByzantine,
+    RandomNoiseByzantine,
+    SilentByzantine,
+)
+from repro.net.message import Envelope
+
+
+class TestSilent:
+    def test_never_sends(self):
+        byz = SilentByzantine(0, 5)
+        assert byz.start() == []
+        assert byz.step(None) == []
+        assert not byz.is_correct
+
+    def test_exits_immediately(self):
+        byz = SilentByzantine(0, 5)
+        byz.start()
+        assert byz.exited
+
+
+class TestRandomNoise:
+    def test_messages_are_wellformed_echo_family(self):
+        byz = RandomNoiseByzantine(0, 5, family="echo", seed=1)
+        for send in byz.start() + byz.step(None):
+            assert isinstance(send.payload, (InitialMessage, EchoMessage))
+            assert 0 <= send.recipient < 5
+
+    def test_messages_are_wellformed_simple_family(self):
+        byz = RandomNoiseByzantine(0, 5, family="simple", seed=1)
+        for send in byz.start():
+            assert isinstance(send.payload, SimpleMessage)
+
+    def test_messages_are_wellformed_failstop_family(self):
+        from repro.core.messages import FailStopMessage
+
+        byz = RandomNoiseByzantine(0, 5, family="failstop", seed=1)
+        for send in byz.start():
+            assert isinstance(send.payload, FailStopMessage)
+
+    def test_unknown_family_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RandomNoiseByzantine(0, 5, family="carrier-pigeon")
+
+    def test_noise_volume_configurable(self):
+        byz = RandomNoiseByzantine(0, 5, messages_per_step=7, seed=2)
+        assert len(byz.step(None)) == 7
+
+
+class TestEquivocators:
+    def test_echo_equivocator_splits_values_by_half(self):
+        byz = EquivocatingEchoByzantine(0, 6, 1, 0)
+        sends = byz.start()
+        values = {send.recipient: send.payload.value for send in sends}
+        assert all(values[r] == 0 for r in range(3))
+        assert all(values[r] == 1 for r in range(3, 6))
+
+    def test_simple_equivocator_splits_values_by_half(self):
+        byz = EquivocatingSimpleByzantine(0, 6, 1, 0)
+        sends = byz.start()
+        low = [s.payload.value for s in sends if s.recipient < 3]
+        high = [s.payload.value for s in sends if s.recipient >= 3]
+        assert set(low) == {0} and set(high) == {1}
+
+    def test_equivocator_claims_its_own_identity(self):
+        """Equivocation is about values; origins cannot be forged anyway."""
+        byz = EquivocatingEchoByzantine(2, 6, 1, 0)
+        for send in byz.start():
+            assert send.payload.origin == 2
+
+
+class TestBalancers:
+    def _observe(self, byz, sender, value, phase=0):
+        byz.step(
+            Envelope(
+                sender=sender,
+                recipient=byz.pid,
+                payload=InitialMessage(origin=sender, value=value, phaseno=phase),
+            )
+        )
+
+    def test_echo_balancer_advertises_minority(self):
+        byz = BalancingEchoByzantine(6, 7, 2, 0)
+        byz.start()
+        for sender, value in [(0, 1), (1, 1), (2, 1), (3, 0)]:
+            self._observe(byz, sender, value)
+        lie = byz._minority_value()
+        assert lie == 0  # 0 is the minority among observed initials
+
+    def test_echo_balancer_flips_with_observations(self):
+        byz = BalancingEchoByzantine(6, 7, 2, 0)
+        byz.start()
+        for sender, value in [(0, 0), (1, 0), (2, 1)]:
+            self._observe(byz, sender, value)
+        assert byz._minority_value() == 1
+
+    def test_simple_balancer_emits_simple_messages(self):
+        byz = BalancingSimpleByzantine(6, 7, 2, 0)
+        sends = byz.start()
+        assert all(isinstance(s.payload, SimpleMessage) for s in sends)
+
+    def test_antimajority_advertises_opposite(self):
+        byz = AntiMajorityEchoByzantine(6, 7, 2, 1)
+        sends = byz.start()
+        assert all(s.payload.value == 0 for s in sends)
+
+    def test_all_byzantine_flagged_incorrect(self):
+        for cls in (
+            BalancingEchoByzantine,
+            EquivocatingEchoByzantine,
+            AntiMajorityEchoByzantine,
+        ):
+            assert not cls(6, 7, 2, 0).is_correct
+        for cls in (BalancingSimpleByzantine, EquivocatingSimpleByzantine):
+            assert not cls(6, 7, 2, 0).is_correct

@@ -1,0 +1,90 @@
+"""Tests for the ensemble builders."""
+
+import pytest
+
+from repro.baselines.benor import BenOrConsensus
+from repro.core.fail_stop import FailStopConsensus
+from repro.core.malicious import MaliciousConsensus
+from repro.errors import ConfigurationError
+from repro.faults.byzantine import SilentByzantine
+from repro.faults.crash import CrashableProcess
+from repro.harness.builders import (
+    build_benor_processes,
+    build_failstop_processes,
+    build_malicious_processes,
+    build_simple_majority_processes,
+    parse_inputs,
+)
+
+
+class TestParseInputs:
+    def test_string_form(self):
+        assert parse_inputs("0110", 4) == [0, 1, 1, 0]
+
+    def test_list_form(self):
+        assert parse_inputs([1, 0], 2) == [1, 0]
+
+    def test_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            parse_inputs("01", 3)
+
+    def test_domain_checked(self):
+        with pytest.raises(ConfigurationError):
+            parse_inputs([0, 2], 2)
+
+
+class TestBuilders:
+    def test_failstop_shape(self):
+        processes = build_failstop_processes(5, 2, "01011")
+        assert [p.pid for p in processes] == list(range(5))
+        assert all(isinstance(p, FailStopConsensus) for p in processes)
+        assert [p.input_value for p in processes] == [0, 1, 0, 1, 1]
+
+    def test_failstop_crash_wrapping(self):
+        processes = build_failstop_processes(
+            5, 2, "00000", crashes={1: {"crash_at_step": 3}}
+        )
+        assert isinstance(processes[1], CrashableProcess)
+
+    def test_failstop_too_many_victims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_failstop_processes(
+                5, 1, "00000",
+                crashes={0: {"crash_at_step": 1}, 1: {"crash_at_step": 1}},
+            )
+
+    def test_malicious_byzantine_substitution(self):
+        processes = build_malicious_processes(
+            7, 2, "0101010",
+            byzantine={6: lambda pid, n, k, v: SilentByzantine(pid, n, v)},
+        )
+        assert isinstance(processes[6], SilentByzantine)
+        assert all(
+            isinstance(p, MaliciousConsensus) for p in processes[:6]
+        )
+
+    def test_malicious_total_fault_budget(self):
+        with pytest.raises(ConfigurationError):
+            build_malicious_processes(
+                7, 2, "0101010",
+                byzantine={6: lambda pid, n, k, v: SilentByzantine(pid, n, v)},
+                crashes={0: {"crash_at_step": 1}, 1: {"crash_at_step": 1}},
+            )
+
+    def test_simple_majority_builder(self):
+        processes = build_simple_majority_processes(7, 2, "0000000")
+        assert len(processes) == 7
+
+    def test_benor_builder_models(self):
+        failstop = build_benor_processes(5, 2, "00110")
+        assert all(isinstance(p, BenOrConsensus) for p in failstop)
+        malicious = build_benor_processes(
+            11, 2, "01" * 5 + "1", fault_model="malicious"
+        )
+        assert malicious[0].fault_model == "malicious"
+
+    def test_protocol_kwargs_passed_through(self):
+        processes = build_malicious_processes(
+            4, 1, "0011", exit_after_decide=True
+        )
+        assert all(p.exit_after_decide for p in processes)

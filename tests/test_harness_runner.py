@@ -1,0 +1,71 @@
+"""Tests for the replicated-run experiment runner."""
+
+import pytest
+
+from repro.errors import SimulationLimitError
+from repro.harness.builders import build_failstop_processes
+from repro.harness.runner import ExperimentRunner
+from repro.harness.workloads import balanced_inputs, unanimous_inputs
+from repro.net.schedulers import FifoScheduler
+
+
+class TestExperimentRunner:
+    def test_run_many_aggregates(self):
+        runner = ExperimentRunner(
+            lambda seed: build_failstop_processes(5, 2, balanced_inputs(5))
+        )
+        runs = runner.run_many(range(5))
+        assert runs.count == 5
+        assert runs.agreement_rate() == 1.0
+        assert runs.decision_phase_stats().count == 5
+        assert runs.steps_stats().mean > 0
+        assert runs.messages_stats().mean > 0
+
+    def test_consensus_values_collected(self):
+        runner = ExperimentRunner(
+            lambda seed: build_failstop_processes(5, 2, unanimous_inputs(5, 1))
+        )
+        values = runner.run_many(range(3)).consensus_values()
+        assert values == [1, 1, 1]
+
+    def test_termination_enforced(self):
+        runner = ExperimentRunner(
+            lambda seed: build_failstop_processes(7, 3, balanced_inputs(7)),
+            max_steps=5,  # hopelessly small
+        )
+        with pytest.raises(SimulationLimitError):
+            runner.run_one(0)
+
+    def test_termination_check_optional(self):
+        runner = ExperimentRunner(
+            lambda seed: build_failstop_processes(7, 3, balanced_inputs(7)),
+            max_steps=5,
+            require_termination=False,
+        )
+        result = runner.run_one(0)
+        assert not result.all_correct_decided
+
+    def test_scheduler_factory_used(self):
+        built = []
+
+        def scheduler_factory(seed):
+            scheduler = FifoScheduler()
+            built.append(seed)
+            return scheduler
+
+        runner = ExperimentRunner(
+            lambda seed: build_failstop_processes(5, 2, balanced_inputs(5)),
+            scheduler_factory=scheduler_factory,
+        )
+        runner.run_many(range(3))
+        assert built == [0, 1, 2]
+
+    def test_first_vs_last_decision_phase(self):
+        runner = ExperimentRunner(
+            lambda seed: build_failstop_processes(7, 3, balanced_inputs(7))
+        )
+        runs = runner.run_many(range(4))
+        assert (
+            runs.first_decision_phase_stats().mean
+            <= runs.decision_phase_stats().mean
+        )

@@ -1,0 +1,68 @@
+"""Tests for the plain-text table renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.tables import render_markdown, render_table, to_csv
+
+
+class TestRenderMarkdown:
+    def test_shape(self):
+        text = render_markdown(["a", "b"], [[1, 2.5]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.5 |"
+
+    def test_width_checked(self):
+        with pytest.raises(ConfigurationError):
+            render_markdown(["a"], [[1, 2]])
+
+
+class TestToCsv:
+    def test_roundtrip(self):
+        import csv
+        import io
+
+        text = to_csv(["x", "y"], [[1, "a,b"], [2, 3.14159]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "a,b"]
+        assert rows[2][1] == "3.142"
+
+    def test_width_checked(self):
+        with pytest.raises(ConfigurationError):
+            to_csv(["a"], [[1, 2]])
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert len(set(len(line.rstrip()) for line in lines[:2])) >= 1
+        assert lines[1].startswith("-")
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_columns_line_up(self):
+        text = render_table(["aa", "b"], [["x", "yyyy"], ["zzz", "w"]])
+        header, rule, row1, row2 = text.splitlines()
+        # Second column starts at the same offset in every line.
+        offset = header.index("b")
+        assert row1[offset:].startswith("yyyy")
+        assert row2[offset:].startswith("w")

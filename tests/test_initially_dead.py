@@ -1,0 +1,122 @@
+"""Tests for the §5 footnote protocol (initially-dead fault model)."""
+
+import pytest
+
+from repro.baselines.initially_dead import (
+    InitiallyDeadConsensus,
+    InitiallyDeadProcess,
+    agreed_bivalent_function,
+)
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulation
+
+
+def _build(n, dead_pids=(), inputs=None, close_probability=0.05):
+    inputs = inputs if inputs is not None else [pid % 2 for pid in range(n)]
+    processes = []
+    for pid in range(n):
+        if pid in dead_pids:
+            processes.append(InitiallyDeadProcess(pid, n, inputs[pid]))
+        else:
+            processes.append(
+                InitiallyDeadConsensus(
+                    pid, n, inputs[pid], close_probability=close_probability
+                )
+            )
+    return processes
+
+
+def _run(n, dead_pids=(), inputs=None, seed=0, close_probability=0.05):
+    processes = _build(n, dead_pids, inputs, close_probability)
+    result = Simulation(processes, seed=seed).run(max_steps=400_000)
+    return processes, result
+
+
+class TestAgreedFunction:
+    def test_depends_on_inputs(self):
+        assert agreed_bivalent_function({0: 0, 1: 0}) == 0
+        assert agreed_bivalent_function({0: 1, 1: 1}) == 1
+
+    def test_tie_goes_to_one(self):
+        """Must differ from the protocols' 0-tie so 1 stays reachable."""
+        assert agreed_bivalent_function({0: 0, 1: 1}) == 1
+
+
+class TestAllCorrect:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_and_termination(self, seed):
+        _, result = _run(5, seed=seed)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    def test_both_values_reachable_when_all_correct(self):
+        """Intermediate bivalence, positive half: 0 and 1 both occur."""
+        observed = set()
+        for seed in range(60):
+            _, result = _run(5, inputs=[1, 1, 1, 0, 0], seed=seed)
+            observed.add(result.consensus_value)
+            if observed == {0, 1}:
+                break
+        assert observed == {0, 1}
+
+    def test_unanimous_one_can_decide_one(self):
+        observed = set()
+        for seed in range(40):
+            _, result = _run(4, inputs=[1, 1, 1, 1], seed=seed)
+            observed.add(result.consensus_value)
+        # Never anything but 0 (early close) or 1 (the agreed function).
+        assert observed <= {0, 1}
+        assert 1 in observed
+
+
+class TestWithDeaths:
+    @pytest.mark.parametrize("dead", [(0,), (0, 1), (0, 1, 2), (0, 1, 2, 3)])
+    def test_any_number_of_initially_dead(self, dead):
+        """Up to n−1 dead: survivors still decide — and decide 0."""
+        n = 5
+        for seed in range(4):
+            _, result = _run(n, dead_pids=dead, seed=seed)
+            result.check_agreement()
+            assert result.all_correct_decided
+            assert result.consensus_value == 0
+
+    def test_fixed_decision_under_faults(self):
+        """Intermediate bivalence, negative half: faults ⇒ always 0,
+        regardless of the survivors' inputs."""
+        for inputs in ([1, 1, 1, 1, 0], [1, 1, 1, 1, 1]):
+            _, result = _run(5, dead_pids=(4,), inputs=inputs, seed=3)
+            assert result.consensus_value == 0
+
+    def test_lone_survivor_decides(self):
+        """n−1 dead: the last process must still terminate (on its own
+        tick-driven coin) and decide 0."""
+        processes, result = _run(4, dead_pids=(1, 2, 3), seed=1)
+        assert result.decisions[0] == 0
+        assert processes[0].decided_via == "default-zero"
+
+    def test_decided_via_diagnostics(self):
+        processes, result = _run(4, dead_pids=(3,), seed=2)
+        for process in processes[:3]:
+            assert process.decided_via == "default-zero"
+
+
+class TestCertificates:
+    def test_certificates_never_mix_within_a_run(self):
+        """Q is an objective bit: the YES certificate (all n rows, strongly
+        connected) and the NO certificate (an in-closed proper subset, or
+        the full graph failing connectivity) can never both exist in one
+        execution — so all processes decide via the same branch."""
+        for seed in range(30):
+            processes, result = _run(5, seed=seed, close_probability=0.15)
+            result.check_agreement()
+            vias = {
+                p.decided_via for p in processes
+                if isinstance(p, InitiallyDeadConsensus)
+            }
+            assert len(vias) == 1, f"seed {seed}: mixed certificates {vias}"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            InitiallyDeadConsensus(0, 3, 0, close_probability=0.0)
+        with pytest.raises(Exception):
+            InitiallyDeadConsensus(0, 3, 2)

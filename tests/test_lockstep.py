@@ -1,0 +1,111 @@
+"""Tests for the lockstep (§4-abstraction) simulator."""
+
+import pytest
+
+from repro.analysis.failstop_chain import failstop_chain
+from repro.analysis.malicious_chain import malicious_chain
+from repro.errors import ConfigurationError
+from repro.sim.lockstep import LockstepMajoritySimulator
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            LockstepMajoritySimulator(0, 0)
+        with pytest.raises(ConfigurationError):
+            LockstepMajoritySimulator(6, 6)
+        with pytest.raises(ConfigurationError):
+            LockstepMajoritySimulator(6, 2, faulty=3)  # faulty > k
+        with pytest.raises(ConfigurationError):
+            LockstepMajoritySimulator(6, 2, adversary="psychic")
+        with pytest.raises(ConfigurationError):
+            LockstepMajoritySimulator(6, 2, tie_break="best-of-three")
+
+
+class TestPool:
+    def test_balancing_pool(self):
+        sim = LockstepMajoritySimulator(60, 6, faulty=6)
+        # Within reach of n/2 the pool is pinned to exactly 30.
+        for ones in range(24, 31):
+            assert sim.pool_ones(ones) == 30
+        # Beyond, the adversary can only refrain from adding 1s.
+        assert sim.pool_ones(40) == 40
+        assert sim.pool_ones(0) == 6
+
+    def test_constant_adversaries(self):
+        sim0 = LockstepMajoritySimulator(10, 2, faulty=2, adversary="constant-0")
+        sim1 = LockstepMajoritySimulator(10, 2, faulty=2, adversary="constant-1")
+        assert sim0.pool_ones(4) == 4
+        assert sim1.pool_ones(4) == 6
+
+    def test_no_faulty_pool_is_identity(self):
+        sim = LockstepMajoritySimulator(12, 4)
+        for ones in range(13):
+            assert sim.pool_ones(ones) == ones
+
+
+class TestAbsorption:
+    def test_section41_absorbing_matches_paper_sets(self):
+        n = 12
+        sim = LockstepMajoritySimulator(n, n // 3)
+        absorbed = [ones for ones in range(n + 1) if sim.absorbed(ones)]
+        assert absorbed == [0, 1, 2, 3, 9, 10, 11, 12]
+
+    def test_section42_absorbing_matches_paper_sets(self):
+        n, k = 60, 6
+        sim = LockstepMajoritySimulator(n, k, faulty=k)
+        absorbed = {ones for ones in range(n - k + 1) if sim.absorbed(ones)}
+        expected = {
+            ones
+            for ones in range(n - k + 1)
+            if ones < (n - 3 * k) / 2 or ones > (n + k) / 2
+        }
+        assert absorbed == expected
+
+
+class TestRuns:
+    def test_deterministic_by_seed(self):
+        sim = LockstepMajoritySimulator(12, 4)
+        a = sim.run(6, seed=5)
+        b = sim.run(6, seed=5)
+        assert a == b
+
+    def test_absorbing_start_is_instant(self):
+        sim = LockstepMajoritySimulator(12, 4)
+        result = sim.run(0, seed=1)
+        assert result.phases == 0
+        assert result.decided_value == 0
+
+    def test_start_validated(self):
+        sim = LockstepMajoritySimulator(12, 4)
+        with pytest.raises(ConfigurationError):
+            sim.run(13)
+
+
+class TestChainAgreement:
+    """The quantitative bridge: lockstep MC ≈ fundamental matrix."""
+
+    def test_section41_means_match_exact_chain(self):
+        n = 12
+        sim = LockstepMajoritySimulator(n, n // 3)
+        lockstep = sim.mean_phases(n // 2, runs=400, seed=1)
+        exact = failstop_chain(n).expected_absorption_times()[n // 2]
+        assert lockstep == pytest.approx(exact, rel=0.15)
+
+    def test_section42_means_match_mechanistic_chain(self):
+        n, k = 60, 6
+        sim = LockstepMajoritySimulator(n, k, faulty=k)
+        lockstep = sim.mean_phases((n - k) // 2, runs=250, seed=2)
+        exact = malicious_chain(n, k, model="mechanistic")
+        expected = exact.expected_absorption_times()[(n - k) // 2]
+        assert lockstep == pytest.approx(expected, rel=0.2)
+
+    def test_zero_tiebreak_absorbs_faster(self):
+        n = 12
+        random_tie = LockstepMajoritySimulator(n, 4).mean_phases(
+            6, runs=300, seed=3
+        )
+        zero_tie = LockstepMajoritySimulator(n, 4, tie_break="zero").mean_phases(
+            6, runs=300, seed=3
+        )
+        assert zero_tie < random_tie

@@ -1,0 +1,90 @@
+"""Tests for the executable Theorem 1 construction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbounds.partition import (
+    NaiveQuorumConsensus,
+    partition_arithmetic,
+    theorem1_partition_scenario,
+)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("n", [4, 6, 8, 10, 12])
+    def test_half_runs_alone_iff_bound_exceeded(self, n):
+        over = (n + 1) // 2
+        at = (n - 1) // 2
+        assert partition_arithmetic(n, over)["half_can_run_alone"]
+        assert partition_arithmetic(n, over)["exceeds_bound"]
+        assert not partition_arithmetic(n, at)["half_can_run_alone"]
+        assert not partition_arithmetic(n, at)["exceeds_bound"]
+
+
+class TestScenario:
+    def test_naive_protocol_splits_past_the_bound(self):
+        outcome = theorem1_partition_scenario(8)
+        assert outcome.exceeds_bound
+        assert outcome.agreement_violated
+        assert set(outcome.decisions_s) == {0}
+        assert set(outcome.decisions_t) == {1}
+
+    def test_split_is_seed_independent(self):
+        for seed in range(3):
+            assert theorem1_partition_scenario(6, seed=seed).agreement_violated
+
+    def test_at_the_bound_partition_deadlocks_safely(self):
+        outcome = theorem1_partition_scenario(8, k=3)
+        assert not outcome.exceeds_bound
+        assert not outcome.agreement_violated
+        assert outcome.deadlocked
+        assert all(v is None for v in outcome.decisions_s + outcome.decisions_t)
+
+    def test_figure1_refuses_to_split(self):
+        """Figure 1's witness threshold converts the attack to livelock."""
+        outcome = theorem1_partition_scenario(
+            6, protocol="fig1", stage_steps=8000
+        )
+        assert outcome.exceeds_bound
+        assert not outcome.agreement_violated
+        assert outcome.deadlocked
+
+    def test_unanimous_inputs_cannot_split_even_past_bound(self):
+        """The split needs the bivalent start; unanimity is univalent."""
+        outcome = theorem1_partition_scenario(8, inputs=[1] * 8)
+        assert not outcome.agreement_violated
+
+    def test_summary_mentions_regime(self):
+        assert "k>bound" in theorem1_partition_scenario(6).summary()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            theorem1_partition_scenario(1)
+        with pytest.raises(ConfigurationError):
+            theorem1_partition_scenario(6, k=6)
+        with pytest.raises(ConfigurationError):
+            theorem1_partition_scenario(6, inputs=[0, 1])
+        with pytest.raises(ConfigurationError):
+            theorem1_partition_scenario(6, protocol="quantum")
+
+
+class TestNaiveQuorum:
+    def test_decides_on_unanimous_view(self):
+        from repro.core.messages import SimpleMessage
+        from repro.net.message import Envelope
+
+        process = NaiveQuorumConsensus(0, 8, 4, 0)
+        process.start()
+        for sender in (1, 2, 3):
+            process.step(
+                Envelope(
+                    sender=sender, recipient=0,
+                    payload=SimpleMessage(phaseno=0, value=0),
+                )
+            )
+        # n−k = 4 counted (incl. nothing from self yet): feed the fourth.
+        process.step(
+            Envelope(sender=4, recipient=0, payload=SimpleMessage(phaseno=0, value=0))
+        )
+        assert process.decided
+        assert process.decision.value == 0

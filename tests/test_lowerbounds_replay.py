@@ -1,0 +1,66 @@
+"""Tests for the executable Theorem 3 construction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbounds.replay import (
+    replay_arithmetic,
+    theorem3_replay_scenario,
+)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_overlap_fits_exactly_past_the_bound(self, k):
+        n = 3 * k
+        facts = replay_arithmetic(n, k)
+        assert facts["exceeds_bound"]
+        assert facts["overlap_fits_in_k"]
+
+    @pytest.mark.parametrize("n", [4, 7, 10, 13])
+    def test_overlap_contains_correct_at_the_bound(self, n):
+        k = (n - 1) // 3
+        facts = replay_arithmetic(n, k)
+        assert not facts["exceeds_bound"]
+        assert facts["min_overlap_of_two_views"] > k
+
+
+class TestScenario:
+    def test_naive_protocol_splits(self):
+        outcome = theorem3_replay_scenario(k=2, protocol="naive")
+        assert outcome.exceeds_bound
+        assert outcome.agreement_violated
+        assert set(outcome.decisions_s) == {0}
+        assert set(outcome.decisions_t) == {1}
+
+    def test_split_across_k(self):
+        for k in (1, 2, 3):
+            outcome = theorem3_replay_scenario(k=k, protocol="naive")
+            assert outcome.agreement_violated, f"k={k} failed to split"
+
+    def test_simple_variant_stalls_instead(self):
+        """The > (n+k)/2 decision threshold exceeds the view at n = 3k."""
+        outcome = theorem3_replay_scenario(k=2, protocol="simple", stage_steps=15_000)
+        assert not outcome.agreement_violated
+        assert outcome.deadlocked
+
+    def test_echo_protocol_stalls_instead(self):
+        """Figure 2's acceptance quorum cannot form inside a 2k-set."""
+        outcome = theorem3_replay_scenario(k=2, protocol="echo", stage_steps=15_000)
+        assert not outcome.agreement_violated
+        assert outcome.deadlocked
+
+    def test_overlap_processes_marked_malicious(self):
+        outcome = theorem3_replay_scenario(k=2, protocol="naive")
+        assert set(outcome.overlap) == {4, 5}
+        assert outcome.result.correct_pids == {0, 1, 2, 3}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            theorem3_replay_scenario(k=0)
+        with pytest.raises(ConfigurationError):
+            theorem3_replay_scenario(k=2, protocol="pigeon")
+
+    def test_summary_reports_split(self):
+        summary = theorem3_replay_scenario(k=2, protocol="naive").summary()
+        assert "SPLIT" in summary

@@ -1,0 +1,80 @@
+"""The paper's majority-approximation remark, tested statistically.
+
+§2.3 closes: "the protocol computes an 'approximation' of the majority
+of the initial input values. … If no input value appears in more than
+(n+k)/2 processes, then the consensus value reached is not known a
+priori.  However, the consensus value is still likely to be equal to
+the majority of the initial input values."  (§3.3 repeats the remark
+for the malicious protocol.)
+
+These tests measure that likelihood over seeded runs: with a clear (but
+sub-supermajority) initial majority, the decided value should track the
+majority far more often than not.
+"""
+
+import pytest
+
+from repro.harness.builders import (
+    build_failstop_processes,
+    build_malicious_processes,
+)
+from repro.harness.workloads import split_inputs
+from repro.sim.kernel import Simulation
+
+
+def _majority_rate(build, n, ones, runs, max_steps=2_000_000):
+    majority = 1 if ones > n - ones else 0
+    hits = decided = 0
+    for seed in range(runs):
+        result = Simulation(build(seed), seed=seed).run(max_steps=max_steps)
+        result.check_agreement()
+        if result.consensus_value is not None:
+            decided += 1
+            hits += result.consensus_value == majority
+    assert decided == runs
+    return hits / decided
+
+
+class TestFailStopMajorityTracking:
+    def test_clear_majority_usually_wins(self):
+        """9 processes, 6–3 split (< the 7 needed for the fast path)."""
+        n, k, ones = 9, 4, 6
+        rate = _majority_rate(
+            lambda seed: build_failstop_processes(n, k, split_inputs(n, ones)),
+            n, ones, runs=30, max_steps=500_000,
+        )
+        assert rate >= 0.7, f"majority tracked only {rate:.0%} of the time"
+
+    def test_mirrored_split_tracks_zero(self):
+        n, k, ones = 9, 4, 3
+        rate = _majority_rate(
+            lambda seed: build_failstop_processes(n, k, split_inputs(n, ones)),
+            n, ones, runs=30, max_steps=500_000,
+        )
+        assert rate >= 0.7
+
+    def test_stronger_majority_tracks_better(self):
+        n, k = 11, 5
+        rates = []
+        for ones in (6, 7, 8):
+            rates.append(
+                _majority_rate(
+                    lambda seed, ones=ones: build_failstop_processes(
+                        n, k, split_inputs(n, ones)
+                    ),
+                    n, ones, runs=20, max_steps=500_000,
+                )
+            )
+        assert rates[-1] >= rates[0]
+        assert rates[-1] >= 0.9
+
+
+class TestMaliciousMajorityTracking:
+    def test_clear_majority_usually_wins(self):
+        """7 processes, 5–2 split, no faults (the §3.3 remark)."""
+        n, k, ones = 7, 2, 5
+        rate = _majority_rate(
+            lambda seed: build_malicious_processes(n, k, split_inputs(n, ones)),
+            n, ones, runs=20,
+        )
+        assert rate >= 0.8

@@ -1,0 +1,146 @@
+"""Integration tests: full Figure 2 runs under Byzantine fire (Theorem 4)."""
+
+import pytest
+
+from repro.faults.byzantine import (
+    AntiMajorityEchoByzantine,
+    BalancingEchoByzantine,
+    EquivocatingEchoByzantine,
+    RandomNoiseByzantine,
+    SilentByzantine,
+)
+from repro.harness.builders import build_malicious_processes
+from repro.harness.workloads import (
+    balanced_inputs,
+    supermajority_inputs,
+    unanimous_inputs,
+)
+from repro.sim.kernel import Simulation
+from repro.sim.results import HaltReason
+
+ADVERSARIES = {
+    "silent": lambda pid, n, k, v: SilentByzantine(pid, n, v),
+    "balancing": BalancingEchoByzantine,
+    "equivocating": EquivocatingEchoByzantine,
+    "anti-majority": AntiMajorityEchoByzantine,
+    "noise": lambda pid, n, k, v: RandomNoiseByzantine(pid, n, family="echo"),
+}
+
+
+def _run(n, k, inputs, byzantine=None, seed=0, max_steps=3_000_000, **kwargs):
+    processes = build_malicious_processes(
+        n, k, inputs, byzantine=byzantine, **kwargs
+    )
+    return Simulation(processes, seed=seed).run(max_steps=max_steps)
+
+
+class TestNoFaults:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_and_termination(self, seed):
+        result = _run(4, 1, balanced_inputs(4), seed=seed)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimity_decides_that_value(self, value):
+        result = _run(7, 2, unanimous_inputs(7, value), seed=1)
+        assert result.consensus_value == value
+
+    def test_unanimity_decides_within_two_phases(self):
+        """'Within two phases all the correct processes decide that value.'"""
+        for seed in range(4):
+            result = _run(7, 2, unanimous_inputs(7, 1), seed=seed)
+            assert max(result.phases_to_decide()) <= 2
+
+    def test_supermajority_decides_within_two_phases(self):
+        for seed in range(4):
+            result = _run(7, 2, supermajority_inputs(7, 2, 0), seed=seed)
+            assert result.consensus_value == 0
+            assert max(result.phases_to_decide()) <= 2
+
+
+class TestByzantineResistance:
+    @pytest.mark.parametrize("name", sorted(ADVERSARIES))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_full_k_adversaries(self, name, seed):
+        n, k = 7, 2
+        byzantine = {5: ADVERSARIES[name], 6: ADVERSARIES[name]}
+        result = _run(n, k, balanced_inputs(n), byzantine=byzantine, seed=seed)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    @pytest.mark.parametrize("name", sorted(ADVERSARIES))
+    def test_unanimous_correct_inputs_win(self, name):
+        """Validity: k liars cannot flip a unanimous correct input."""
+        n, k = 7, 2
+        byzantine = {5: ADVERSARIES[name], 6: ADVERSARIES[name]}
+        result = _run(n, k, unanimous_inputs(n, 1), byzantine=byzantine, seed=2)
+        for pid, value in result.correct_decisions.items():
+            assert value == 1
+
+    def test_mixed_adversaries(self):
+        n, k = 10, 3
+        byzantine = {
+            7: ADVERSARIES["balancing"],
+            8: ADVERSARIES["equivocating"],
+            9: ADVERSARIES["silent"],
+        }
+        result = _run(n, k, balanced_inputs(n), byzantine=byzantine, seed=4)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    def test_crash_plus_byzantine_within_k(self):
+        n, k = 10, 3
+        result = _run(
+            n, k, balanced_inputs(n),
+            byzantine={9: ADVERSARIES["balancing"]},
+            crashes={0: {"crash_at_step": 4, "keep_sends": 5}, 1: {"crash_at_step": 0}},
+            seed=5,
+        )
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    def test_k_less_than_n_fifth_decision_spread(self):
+        """k < n/5: 'once a correct process decides, all the other
+        processes also decide within one phase.'"""
+        n, k = 11, 2
+        byzantine = {9: ADVERSARIES["balancing"], 10: ADVERSARIES["balancing"]}
+        for seed in range(4):
+            result = _run(n, k, balanced_inputs(n), byzantine=byzantine, seed=seed)
+            phases = result.phases_to_decide()
+            assert max(phases) - min(phases) <= 1
+
+
+class TestEquivocationIsNeutralised:
+    def test_accepted_values_consistent_across_receivers(self):
+        """No two correct processes accept different values from anyone.
+
+        This is Theorem 4's key claim; we check it by instrumenting the
+        per-process acceptance bookkeeping over a full adversarial run.
+        """
+        n, k = 7, 2
+        accepted_log: dict[tuple[int, int], set[int]] = {}
+
+        from repro.core.malicious import MaliciousConsensus
+
+        class Instrumented(MaliciousConsensus):
+            def _apply_echo(self, origin, value):
+                before = origin in self._accepted_origins
+                super()._apply_echo(origin, value)
+                if not before and origin in self._accepted_origins:
+                    accepted_log.setdefault(
+                        (self.phaseno, origin), set()
+                    ).add(value)
+
+        inputs = balanced_inputs(n)
+        processes = [
+            Instrumented(pid, n, k, inputs[pid]) for pid in range(5)
+        ]
+        processes.append(EquivocatingEchoByzantine(5, n, k, 0))
+        processes.append(EquivocatingEchoByzantine(6, n, k, 1))
+        result = Simulation(processes, seed=9).run(max_steps=3_000_000)
+        result.check_agreement()
+        for (phase, origin), values in accepted_log.items():
+            assert len(values) == 1, (
+                f"origin {origin} accepted with {values} in phase {phase}"
+            )

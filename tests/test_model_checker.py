@@ -1,0 +1,139 @@
+"""Tests for the bounded exhaustive schedule explorer (Lemma 2)."""
+
+import pytest
+
+from repro.core.fail_stop import FailStopConsensus
+from repro.core.simple_majority import SimpleMajorityConsensus
+from repro.errors import ConfigurationError
+from repro.lowerbounds.model_checker import (
+    explore_all_schedules,
+    reachable_decision_values,
+)
+from repro.procs.base import Process, Send
+
+
+def _fig1_factory(inputs, n=3, k=1):
+    def factory():
+        return [FailStopConsensus(pid, n, k, inputs[pid]) for pid in range(n)]
+
+    return factory
+
+
+class TestBivalenceCertification:
+    def test_mixed_inputs_are_bivalent(self):
+        """Lemma 2's configuration exists: both decisions reachable."""
+        result = explore_all_schedules(
+            _fig1_factory((0, 1, 1)), max_phase=4, max_configurations=60_000
+        )
+        assert result.bivalent
+
+    def test_mirror_inputs_are_zero_univalent(self):
+        """(1,0,0) is NOT bivalent — the tie-break favours 0.
+
+        With one 1-holder in n=3, every 2-message view containing the 1
+        is a tie, and Figure 1 resolves ties to 0, so every process
+        holds 0 after phase 0 under *every* schedule.  Lemma 2 only
+        promises *some* bivalent initial configuration (here (0,1,1)),
+        not all mixed ones — the executable search shows exactly that
+        asymmetry.
+        """
+        result = explore_all_schedules(
+            _fig1_factory((1, 0, 0)),
+            max_phase=2,
+            max_configurations=60_000,
+            stop_when_bivalent=False,
+        )
+        assert result.decision_values == {0}
+
+    def test_unanimous_inputs_univalent_within_bound(self):
+        """Validity as a bounded exhaustiveness claim."""
+        result = explore_all_schedules(
+            _fig1_factory((0, 0, 0)),
+            max_phase=2,
+            max_configurations=60_000,
+            stop_when_bivalent=False,
+        )
+        assert result.decision_values == {0}
+
+    def test_unanimous_ones_mirror(self):
+        result = explore_all_schedules(
+            _fig1_factory((1, 1, 1)),
+            max_phase=2,
+            max_configurations=60_000,
+            stop_when_bivalent=False,
+        )
+        assert result.decision_values == {1}
+
+    def test_shorthand_helper(self):
+        values = reachable_decision_values(
+            _fig1_factory((0, 1, 1)), max_phase=4, max_configurations=60_000
+        )
+        assert values == {0, 1}
+
+
+class TestSearchMechanics:
+    def test_budget_truncates(self):
+        result = explore_all_schedules(
+            _fig1_factory((0, 1, 1)),
+            max_configurations=50,
+            stop_when_bivalent=False,
+        )
+        assert result.truncated
+        # The budget is a soft cap: one expansion may add a handful of
+        # children past it before the loop notices.
+        assert result.configurations_explored <= 70
+
+    def test_orders_agree_on_reachability(self):
+        for order in ("bfs", "dfs", "random"):
+            result = explore_all_schedules(
+                _fig1_factory((0, 0, 0)),
+                max_phase=1,
+                max_configurations=30_000,
+                stop_when_bivalent=False,
+                order=order,
+            )
+            assert 0 in result.decision_values
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            explore_all_schedules(_fig1_factory((0, 1, 1)), order="spiral")
+
+    def test_processes_need_state_key(self):
+        class Opaque(Process):
+            def start(self):
+                self._decide(0)
+                return [Send(0, "x")]
+
+            def step(self, envelope):
+                return []
+
+        with pytest.raises(ConfigurationError):
+            explore_all_schedules(lambda: [Opaque(0, 1)])
+
+    def test_terminal_vectors_recorded(self):
+        # DFS dives straight to an all-decided terminal configuration.
+        result = explore_all_schedules(
+            _fig1_factory((1, 1, 1)),
+            max_phase=3,
+            max_configurations=60_000,
+            stop_when_bivalent=False,
+            order="dfs",
+        )
+        assert any(
+            set(vector) == {1} for vector in result.terminal_decision_vectors
+        )
+
+    def test_crashed_process_not_scheduled(self):
+        """A pre-crashed process's deliveries are not explored."""
+        from repro.faults.crash import CrashableProcess
+
+        def factory():
+            processes = [FailStopConsensus(pid, 3, 1, 1) for pid in range(3)]
+            processes[2] = CrashableProcess(processes[2], crash_at_step=0)
+            return processes
+
+        result = explore_all_schedules(
+            factory, max_phase=2, max_configurations=60_000,
+            stop_when_bivalent=False,
+        )
+        assert result.decision_values == {1}

@@ -1,0 +1,90 @@
+"""Unit tests for the asynchronous message system (Section 2.1 model)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.system import MessageSystem, deliverable_pairs
+
+
+class TestMessageSystem:
+    def test_send_places_in_recipient_buffer(self):
+        system = MessageSystem(3)
+        system.send(0, 2, "hello")
+        assert len(system.buffer_of(2)) == 1
+        assert len(system.buffer_of(0)) == 0
+        assert len(system.buffer_of(1)) == 0
+
+    def test_sender_is_authenticated(self):
+        """The envelope's sender comes from the system, not the payload."""
+        system = MessageSystem(3)
+        envelope = system.send(1, 2, {"claims_to_be": 0})
+        assert envelope.sender == 1
+
+    def test_self_send_allowed(self):
+        system = MessageSystem(2)
+        system.send(0, 0, "note to self")
+        assert len(system.buffer_of(0)) == 1
+
+    def test_broadcast_reaches_everyone_including_self(self):
+        system = MessageSystem(4)
+        envelopes = system.broadcast(1, "state")
+        assert len(envelopes) == 4
+        assert {env.recipient for env in envelopes} == {0, 1, 2, 3}
+        for pid in range(4):
+            assert len(system.buffer_of(pid)) == 1
+
+    def test_counters(self):
+        system = MessageSystem(3)
+        system.broadcast(0, "x")
+        assert system.messages_sent == 3
+        assert system.messages_delivered == 0
+        envelope = system.buffer_of(1).take_oldest()
+        system.note_delivered(envelope)
+        assert system.messages_delivered == 1
+
+    def test_pending_total(self):
+        system = MessageSystem(3)
+        system.broadcast(0, "x")
+        system.send(1, 2, "y")
+        assert system.pending_total() == 4
+
+    def test_processes_with_mail(self):
+        system = MessageSystem(3)
+        system.send(0, 2, "x")
+        assert system.processes_with_mail() == [2]
+
+    def test_invalid_pids_rejected(self):
+        system = MessageSystem(2)
+        with pytest.raises(ConfigurationError):
+            system.send(0, 2, "x")
+        with pytest.raises(ConfigurationError):
+            system.send(-1, 0, "x")
+        with pytest.raises(ConfigurationError):
+            system.buffer_of(5)
+
+    def test_needs_at_least_one_process(self):
+        with pytest.raises(ConfigurationError):
+            MessageSystem(0)
+
+    def test_snapshot_reflects_buffers(self):
+        system = MessageSystem(2)
+        system.send(0, 1, "a")
+        snapshot = system.snapshot()
+        assert len(snapshot[1]) == 1
+        assert snapshot[1][0].payload == "a"
+        assert snapshot[0] == ()
+
+    def test_reliability_messages_never_lost(self):
+        """Anything sent stays buffered until explicitly taken."""
+        system = MessageSystem(2)
+        for i in range(100):
+            system.send(0, 1, i)
+        assert len(system.buffer_of(1)) == 100
+
+    def test_deliverable_pairs_respects_alive_set(self):
+        system = MessageSystem(3)
+        system.send(0, 1, "x")
+        system.send(0, 2, "y")
+        assert deliverable_pairs(system, alive=[1]) == [1]
+        assert deliverable_pairs(system, alive=[1, 2]) == [1, 2]
+        assert deliverable_pairs(system, alive=[]) == []

@@ -1,0 +1,45 @@
+"""Unit tests for the write-once decision register (the d_p location)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DecisionOverwriteError
+from repro.procs.registers import DecisionRegister
+
+
+class TestDecisionRegister:
+    def test_starts_unset(self):
+        register = DecisionRegister()
+        assert not register.is_set
+        assert register.get() is None
+
+    def test_read_before_set_raises(self):
+        with pytest.raises(ConfigurationError):
+            _ = DecisionRegister().value
+
+    def test_set_then_read(self):
+        register = DecisionRegister()
+        register.set(1)
+        assert register.is_set
+        assert register.value == 1
+        assert register.get() == 1
+
+    def test_write_once_enforced(self):
+        """'Once d_p is assigned a value v, it can not be changed.'"""
+        register = DecisionRegister()
+        register.set(0)
+        with pytest.raises(DecisionOverwriteError):
+            register.set(1)
+        assert register.value == 0
+
+    def test_idempotent_rewrite_allowed(self):
+        register = DecisionRegister()
+        register.set(1)
+        register.set(1)  # re-deriving the same decision is fine
+        assert register.value == 1
+
+    def test_domain_checked(self):
+        register = DecisionRegister()
+        with pytest.raises(ConfigurationError):
+            register.set(2)
+        with pytest.raises(ConfigurationError):
+            register.set(None)

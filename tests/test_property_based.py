@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) on the paper's core invariants.
+
+Each property is the executable form of a theorem statement: agreement,
+unanimous validity, witness exclusivity, acceptance consistency, and the
+stochasticity/symmetry of the analysis chains — checked over randomly
+generated system sizes, inputs, fault placements, and seeds.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.failstop_chain import (
+    failstop_transition_matrix,
+    majority_adoption_probability,
+)
+from repro.core.common import (
+    acceptance_threshold,
+    max_failstop_resilience,
+    max_malicious_resilience,
+)
+from repro.harness.builders import (
+    build_failstop_processes,
+    build_malicious_processes,
+    build_simple_majority_processes,
+)
+from repro.sim.kernel import Simulation
+
+# Keep each generated run small: the properties quantify over structure,
+# not over scale.
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def failstop_instances(draw):
+    """(n, k, inputs, crash victims, seed) with k ≤ ⌊(n−1)/2⌋ honoured."""
+    n = draw(st.integers(min_value=3, max_value=9))
+    k = draw(st.integers(min_value=1, max_value=max_failstop_resilience(n)))
+    inputs = draw(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n)
+    )
+    victim_count = draw(st.integers(min_value=0, max_value=k))
+    victims = draw(
+        st.lists(
+            st.integers(0, n - 1),
+            min_size=victim_count,
+            max_size=victim_count,
+            unique=True,
+        )
+    )
+    crashes = {
+        pid: {
+            "crash_at_step": draw(st.integers(0, 6)),
+            "keep_sends": draw(st.integers(0, n)),
+        }
+        for pid in victims
+    }
+    seed = draw(st.integers(0, 2**16))
+    return n, k, inputs, crashes, seed
+
+
+@st.composite
+def malicious_instances(draw):
+    """(n, k, inputs, byzantine pids, seed) with k ≤ ⌊(n−1)/3⌋ honoured."""
+    n = draw(st.integers(min_value=4, max_value=8))
+    k = draw(st.integers(min_value=1, max_value=max_malicious_resilience(n)))
+    inputs = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    byz_count = draw(st.integers(min_value=0, max_value=k))
+    byz_pids = draw(
+        st.lists(
+            st.integers(0, n - 1),
+            min_size=byz_count,
+            max_size=byz_count,
+            unique=True,
+        )
+    )
+    strategy_name = draw(
+        st.sampled_from(["silent", "balancing", "equivocating"])
+    )
+    seed = draw(st.integers(0, 2**16))
+    return n, k, inputs, byz_pids, strategy_name, seed
+
+
+class TestFailStopProperties:
+    @given(failstop_instances())
+    @_SETTINGS
+    def test_agreement_and_validity_always_hold(self, instance):
+        n, k, inputs, crashes, seed = instance
+        processes = build_failstop_processes(n, k, inputs, crashes=crashes)
+        result = Simulation(processes, seed=seed).run(max_steps=400_000)
+        result.check_agreement()
+        result.check_unanimous_validity()
+        assert result.all_correct_decided
+
+    @given(failstop_instances())
+    @_SETTINGS
+    def test_decision_is_some_processs_input(self, instance):
+        """Non-triviality: the decided value always occurs among inputs."""
+        n, k, inputs, crashes, seed = instance
+        processes = build_failstop_processes(n, k, inputs, crashes=crashes)
+        result = Simulation(processes, seed=seed).run(max_steps=400_000)
+        value = result.consensus_value
+        if value is not None:
+            assert value in inputs
+
+
+class TestMaliciousProperties:
+    @given(malicious_instances())
+    @_SETTINGS
+    def test_agreement_under_random_byzantine_placement(self, instance):
+        from repro.faults.byzantine import (
+            BalancingEchoByzantine,
+            EquivocatingEchoByzantine,
+            SilentByzantine,
+        )
+
+        factories = {
+            "silent": lambda pid, n, k, v: SilentByzantine(pid, n, v),
+            "balancing": BalancingEchoByzantine,
+            "equivocating": EquivocatingEchoByzantine,
+        }
+        n, k, inputs, byz_pids, strategy_name, seed = instance
+        byzantine = {pid: factories[strategy_name] for pid in byz_pids}
+        processes = build_malicious_processes(
+            n, k, inputs, byzantine=byzantine
+        )
+        result = Simulation(processes, seed=seed).run(max_steps=3_000_000)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    @given(malicious_instances())
+    @_SETTINGS
+    def test_correct_unanimity_beats_byzantine(self, instance):
+        from repro.faults.byzantine import BalancingEchoByzantine
+
+        n, k, inputs, byz_pids, _strategy, seed = instance
+        forced = list(inputs)
+        for pid in range(n):
+            if pid not in byz_pids:
+                forced[pid] = 1
+        byzantine = {pid: BalancingEchoByzantine for pid in byz_pids}
+        processes = build_malicious_processes(n, k, forced, byzantine=byzantine)
+        result = Simulation(processes, seed=seed).run(max_steps=3_000_000)
+        for value in result.correct_decisions.values():
+            assert value == 1
+
+
+class TestSimpleMajorityProperties:
+    @given(
+        n=st.integers(4, 10),
+        seed=st.integers(0, 2**16),
+        ones=st.integers(0, 10),
+    )
+    @_SETTINGS
+    def test_agreement(self, n, seed, ones):
+        k = max_malicious_resilience(n)
+        if k == 0:
+            return
+        inputs = [1 if i < min(ones, n) else 0 for i in range(n)]
+        processes = build_simple_majority_processes(n, k, inputs)
+        result = Simulation(processes, seed=seed).run(max_steps=400_000)
+        result.check_agreement()
+        result.check_unanimous_validity()
+
+
+class TestAnalysisProperties:
+    @given(
+        n=st.integers(6, 40),
+        seed=st.integers(0, 100),
+    )
+    @_SETTINGS
+    def test_transition_matrix_stochastic_for_any_k(self, n, seed):
+        import random
+
+        k = random.Random(seed).randint(1, n - 2)
+        matrix = failstop_transition_matrix(n, k)
+        assert matrix.shape == (n + 1, n + 1)
+        assert abs(matrix.sum() - (n + 1)) < 1e-6
+
+    @given(n=st.integers(6, 40), k_fraction=st.floats(0.05, 0.45))
+    @_SETTINGS
+    def test_adoption_probability_monotone_and_bounded(self, n, k_fraction):
+        k = max(1, int(n * k_fraction))
+        previous = 0.0
+        for ones in range(n + 1):
+            w = majority_adoption_probability(n, k, ones)
+            assert 0.0 <= w <= 1.0
+            assert w >= previous - 1e-12
+            previous = w
+
+    @given(n=st.integers(6, 30))
+    @_SETTINGS
+    def test_mirror_symmetry(self, n):
+        k = max(1, n // 3)
+        for ones in range(n + 1):
+            w = majority_adoption_probability(n, k, ones)
+            mirrored = majority_adoption_probability(n, k, n - ones)
+            assert math.isclose(w, 1.0 - mirrored, abs_tol=1e-10)
+
+
+class TestQuorumIntersectionProperty:
+    @given(n=st.integers(4, 60))
+    @_SETTINGS
+    def test_two_acceptance_quorums_share_a_correct_process(self, n):
+        """The combinatorial heart of Theorem 4's consistency proof."""
+        k = max_malicious_resilience(n)
+        quorum = acceptance_threshold(n, k)
+        # Two quorums overlap in at least 2·quorum − n processes, and that
+        # overlap strictly exceeds k ⇒ contains a correct process.
+        assert 2 * quorum - n > k

@@ -1,0 +1,113 @@
+"""Property-based tests for the extension/baseline protocols."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.rbc import (
+    EquivocatingBroadcaster,
+    ReliableBroadcastProcess,
+)
+from repro.harness.builders import build_benor_processes
+from repro.sim.kernel import Simulation
+from repro.sim.lockstep import LockstepMajoritySimulator
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRbcProperties:
+    @given(
+        n=st.integers(4, 10),
+        broadcaster=st.integers(0, 9),
+        value=st.integers(0, 1),
+        seed=st.integers(0, 2**16),
+    )
+    @_SETTINGS
+    def test_honest_broadcast_validity(self, n, broadcaster, value, seed):
+        broadcaster %= n
+        t = (n - 1) // 3
+        processes = [
+            ReliableBroadcastProcess(pid, n, t, broadcaster, value)
+            for pid in range(n)
+        ]
+        sim = Simulation(
+            processes,
+            seed=seed,
+            halt_when=lambda s: all(p.has_delivered for p in s.processes),
+        )
+        result = sim.run(max_steps=600_000)
+        delivered = {p.delivered for p in processes if p.has_delivered}
+        assert delivered == {value}
+        assert all(p.has_delivered for p in processes)
+
+    @given(
+        n=st.integers(4, 9),
+        split=st.integers(0, 9),
+        seed=st.integers(0, 2**16),
+    )
+    @_SETTINGS
+    def test_equivocating_broadcast_agreement(self, n, split, seed):
+        """Whatever the lie's split point and the schedule: no split
+        delivery, and delivery (if any) is total among correct."""
+        t = (n - 1) // 3
+        processes: list = [EquivocatingBroadcaster(0, n, split_at=split % (n + 1))]
+        processes += [
+            ReliableBroadcastProcess(pid, n, t, 0) for pid in range(1, n)
+        ]
+        sim = Simulation(processes, seed=seed, halt_when=lambda s: False)
+        sim.run(max_steps=600_000)
+        delivered = [
+            p.delivered
+            for p in processes
+            if getattr(p, "has_delivered", False)
+        ]
+        assert len(set(delivered)) <= 1
+        if delivered:
+            count = len(delivered)
+            assert count == n - 1  # totality: all correct delivered
+
+
+class TestBenOrProperties:
+    @given(
+        n=st.integers(3, 9),
+        ones=st.integers(0, 9),
+        seed=st.integers(0, 2**16),
+    )
+    @_SETTINGS
+    def test_agreement_and_validity(self, n, ones, seed):
+        t = (n - 1) // 2
+        inputs = [1 if i < min(ones, n) else 0 for i in range(n)]
+        processes = build_benor_processes(n, t, inputs)
+        result = Simulation(processes, seed=seed).run(max_steps=3_000_000)
+        result.check_agreement()
+        result.check_unanimous_validity()
+        assert result.all_correct_decided
+        # Non-triviality: the decided value occurs among the inputs.
+        assert result.consensus_value in inputs
+
+
+class TestLockstepProperties:
+    @given(
+        n=st.integers(6, 40),
+        seed=st.integers(0, 2**16),
+        data=st.data(),
+    )
+    @_SETTINGS
+    def test_phase_count_preserved_and_bounded(self, n, seed, data):
+        k = data.draw(st.integers(1, max(1, n // 3)))
+        sim = LockstepMajoritySimulator(n, k)
+        initial = data.draw(st.integers(0, n))
+        result = sim.run(initial, seed=seed, max_phases=50_000)
+        assert result.absorbed
+        assert result.decided_value in (0, 1)
+        assert len(result.final_values) == n
+
+    @given(n=st.sampled_from([20, 40, 60]), seed=st.integers(0, 1000))
+    @_SETTINGS
+    def test_extreme_starts_decide_their_side(self, n, seed):
+        sim = LockstepMajoritySimulator(n, n // 4)
+        assert sim.run(0, seed=seed).decided_value == 0
+        assert sim.run(n, seed=seed).decided_value == 1

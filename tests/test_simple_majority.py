@@ -1,0 +1,113 @@
+"""Tests for the Section 4.1 simple-majority variant."""
+
+import pytest
+
+from repro.core.messages import SimpleMessage
+from repro.core.simple_majority import SimpleMajorityConsensus
+from repro.errors import ConfigurationError
+from repro.harness.builders import build_simple_majority_processes
+from repro.harness.workloads import balanced_inputs, split_inputs, unanimous_inputs
+from repro.net.message import Envelope
+from repro.sim.kernel import Simulation
+
+
+def _feed(process, sender, phaseno, value):
+    return process.step(
+        Envelope(
+            sender=sender,
+            recipient=process.pid,
+            payload=SimpleMessage(phaseno=phaseno, value=value),
+        )
+    )
+
+
+class TestUnit:
+    def test_bound_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SimpleMajorityConsensus(0, 6, 2, 0)
+        SimpleMajorityConsensus(0, 6, 2, 0, allow_excessive_k=True)
+
+    def test_one_message_per_sender_per_phase(self):
+        process = SimpleMajorityConsensus(0, 7, 2, 0)
+        process.start()
+        _feed(process, 1, 0, 1)
+        _feed(process, 1, 0, 1)  # duplicate sender: not counted twice
+        assert process.message_count == [0, 1]
+
+    def test_majority_adoption(self):
+        process = SimpleMajorityConsensus(0, 7, 2, 0)
+        process.start()
+        for sender, value in [(1, 1), (2, 1), (3, 1), (4, 0)]:
+            _feed(process, sender, 0, value)
+        assert process.phaseno == 0
+        _feed(process, 5, 0, 0)  # n-k = 5 reached: 3-2 majority for 1
+        assert process.phaseno == 1
+        assert process.value == 1
+
+    def test_decision_needs_strict_supermajority(self):
+        n, k = 7, 2  # decide at > 4.5 → 5 of the 5 counted
+        process = SimpleMajorityConsensus(0, n, k, 0)
+        process.start()
+        for sender in (1, 2, 3, 4):
+            _feed(process, sender, 0, 1)
+        _feed(process, 5, 0, 1)
+        assert process.decided
+        assert process.decision.value == 1
+        assert process.decided_at_phase == 0
+
+    def test_four_of_five_does_not_decide(self):
+        process = SimpleMajorityConsensus(0, 7, 2, 0)
+        process.start()
+        for sender in (1, 2, 3, 4):
+            _feed(process, sender, 0, 1)
+        _feed(process, 5, 0, 0)
+        assert not process.decided
+        assert process.value == 1
+
+    def test_deferral_and_replay(self):
+        process = SimpleMajorityConsensus(0, 7, 2, 0)
+        process.start()
+        for sender in (1, 2, 3, 4, 5):
+            _feed(process, sender, 1, 1)  # future phase, deferred
+        assert process.phaseno == 0
+        for sender in (1, 2, 3, 4):
+            _feed(process, sender, 0, 1)
+        _feed(process, 5, 0, 1)
+        # Phase 0 decides; phase 1 completes instantly from the deferral.
+        assert process.phaseno == 2
+
+
+class TestIntegration:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_and_termination(self, seed):
+        processes = build_simple_majority_processes(7, 2, balanced_inputs(7))
+        result = Simulation(processes, seed=seed).run(max_steps=500_000)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_validity(self, value):
+        processes = build_simple_majority_processes(
+            7, 2, unanimous_inputs(7, value)
+        )
+        result = Simulation(processes, seed=1).run(max_steps=500_000)
+        assert result.consensus_value == value
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tolerates_k_crashes(self, seed):
+        processes = build_simple_majority_processes(
+            7, 2, split_inputs(7, 4),
+            crashes={0: {"crash_at_step": 2}, 1: {"crash_at_step": 5, "keep_sends": 3}},
+        )
+        result = Simulation(processes, seed=seed).run(max_steps=500_000)
+        result.check_agreement()
+        assert result.all_correct_decided
+
+    def test_matches_chain_adoption_direction(self):
+        """With a lopsided start the majority dynamics finish on the heavy side."""
+        outcomes = []
+        for seed in range(10):
+            processes = build_simple_majority_processes(9, 2, split_inputs(9, 7))
+            result = Simulation(processes, seed=seed).run(max_steps=500_000)
+            outcomes.append(result.consensus_value)
+        assert outcomes.count(1) >= 9  # w_i ≈ 1 up at i = 7 of 9
