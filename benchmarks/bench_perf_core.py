@@ -1,0 +1,50 @@
+"""Core perf microbenchmark: the indexed hot path vs the pre-PR reference.
+
+Regenerates: ``BENCH_core.json`` at the repo root — steps/sec per
+scheduler (optimised vs the verbatim reference implementations) and the
+serial-vs-parallel ``run_many`` comparison — so the perf trajectory of
+the simulation core is tracked from this PR onward.
+
+Shape asserted: the balancing-adversary n=10 configuration (the E2 cell
+whose reference implementation pays an O(total-pending) scan per step)
+must run at ≥ 3x the reference's steps/sec, and the parallel runner must
+produce aggregates identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.harness.perfbench import run_core_benchmark, write_report
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_core.json"
+
+
+def test_perf_core(benchmark):
+    payload = benchmark.pedantic(
+        lambda: run_core_benchmark(smoke=False),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(payload, str(BENCH_PATH))
+    print()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    schedulers = payload["schedulers"]
+    assert set(schedulers) == {
+        "balancing-n10",
+        "random-n10",
+        "exponential-n7",
+        "filtered-n7",
+    }
+    for name, row in schedulers.items():
+        # The equivalence guard inside the benchmark already confirmed
+        # both sides executed identical steps; sanity-check the shape.
+        assert row["steps"] > 0, name
+        assert row["new_steps_per_sec"] > 0, name
+    assert schedulers["balancing-n10"]["speedup"] >= 3.0, (
+        "acceptance criterion: ≥ 3x steps/sec on the balancing-adversary "
+        f"n=10 configuration, measured {schedulers['balancing-n10']['speedup']}x"
+    )
+    assert payload["parallel"]["aggregates_identical"]

@@ -5,6 +5,8 @@ Subcommands:
 * ``list`` — show the experiment registry (E1–E10) with titles.
 * ``run E3 [E4 ...]`` — run experiments and print their report tables.
 * ``demo`` — one quick consensus run of each protocol, narrated.
+* ``bench`` — the core perf microbenchmark (``--smoke`` for a fast
+  crash-check run); writes ``BENCH_core.json``.
 
 The same experiment implementations back the pytest benchmarks; the CLI
 exists so a user can regenerate any paper artifact without pytest.
@@ -29,6 +31,15 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.harness.tables import render_markdown, to_csv
 
+    if args.workers is not None:
+        if args.workers < 1:
+            print(f"--workers must be >= 1, got {args.workers}")
+            return 2
+        # Experiments construct their own ExperimentRunners, which pick
+        # up REPRO_WORKERS through default_workers().
+        import os
+
+        os.environ["REPRO_WORKERS"] = str(args.workers)
     status = 0
     for raw in args.experiments:
         key = raw.lower()
@@ -76,6 +87,29 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.perfbench import run_core_benchmark, write_report
+
+    if args.workers is not None and args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}")
+        return 2
+    payload = run_core_benchmark(smoke=args.smoke, workers=args.workers)
+    write_report(payload, args.out)
+    for name, row in payload["schedulers"].items():
+        print(
+            f"{name:16s} {row['new_steps_per_sec']:>12.1f} steps/s "
+            f"(reference {row['ref_steps_per_sec']:.1f}, "
+            f"speedup {row['speedup']:.2f}x)"
+        )
+    par = payload["parallel"]
+    print(
+        f"{'parallel':16s} {par['seeds']} seeds x {par['workers']} workers: "
+        f"{par['speedup']:.2f}x vs serial, aggregates identical"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (also exposed as the ``repro-consensus`` script)."""
     parser = argparse.ArgumentParser(
@@ -97,10 +131,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="table",
         help="output format (default: aligned text table)",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel seed fan-out for the experiments' runners "
+        "(default: REPRO_WORKERS env var, else serial)",
+    )
     run_parser.set_defaults(func=_cmd_run)
     subparsers.add_parser("demo", help="quick narrated demo").set_defaults(
         func=_cmd_demo
     )
+    bench_parser = subparsers.add_parser(
+        "bench", help="core perf microbenchmark (steps/sec vs reference)"
+    )
+    bench_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny configurations; exercises the benchmark, not the hardware",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default="BENCH_core.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: ./BENCH_core.json)",
+    )
+    bench_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for the parallel-runner section (default: 4)",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -1,0 +1,249 @@
+"""Core performance micro-benchmark: indexed hot path vs the reference.
+
+Measures steps/sec of the optimised simulation core against the verbatim
+pre-optimisation schedulers preserved in :mod:`repro.net.reference`, per
+scheduler, on the configurations the paper's Section 4 makes expensive —
+most prominently the balancing-adversary n=10 cell from E2, whose runs
+average ~130 phases and ~1.4e5 messages.  Because the optimised
+schedulers replay the reference bit-identically, both sides of every
+comparison execute the *same* steps; the ratio is pure implementation
+speed, and the benchmark asserts the step counts match.
+
+A second section times ``run_many`` serial vs parallel on one seed list
+and checks the aggregates are identical (the parallel runner's
+determinism contract).  Results are emitted as JSON (``BENCH_core.json``
+by default) so the perf trajectory is tracked from PR to PR.
+
+``--smoke`` shrinks every configuration to seconds-scale totals; it
+exists to keep the benchmark code exercised by the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.faults.byzantine import BalancingEchoByzantine
+from repro.harness.builders import (
+    build_failstop_processes,
+    build_malicious_processes,
+)
+from repro.harness.runner import ExperimentRunner
+from repro.harness.workloads import balanced_inputs
+from repro.net.reference import (
+    ReferenceBalancingDelayScheduler,
+    ReferenceExponentialDelayScheduler,
+    ReferenceFilteredRandomScheduler,
+    ReferenceRandomScheduler,
+)
+from repro.net.schedulers import (
+    BalancingDelayScheduler,
+    ExponentialDelayScheduler,
+    FilteredRandomScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+from repro.sim.kernel import Simulation
+
+
+@dataclass
+class BenchConfig:
+    """One timed scheduler comparison."""
+
+    name: str
+    build: Callable[[], Sequence]
+    new_scheduler: Callable[[], Scheduler]
+    ref_scheduler: Callable[[], Scheduler]
+    seeds: Sequence[int]
+    max_steps: int
+
+
+def _malicious(n: int, k: int):
+    byzantine = {n - 1 - i: BalancingEchoByzantine for i in range(k)}
+    return build_malicious_processes(
+        n, k, balanced_inputs(n), byzantine=byzantine
+    )
+
+
+def _configs(smoke: bool) -> list[BenchConfig]:
+    if smoke:
+        seeds = [1]
+        return [
+            BenchConfig(
+                "balancing-n10",
+                lambda: _malicious(5, 1),
+                BalancingDelayScheduler,
+                ReferenceBalancingDelayScheduler,
+                seeds,
+                max_steps=300,
+            ),
+            BenchConfig(
+                "random-n10",
+                lambda: _malicious(5, 1),
+                RandomScheduler,
+                ReferenceRandomScheduler,
+                seeds,
+                max_steps=300,
+            ),
+            BenchConfig(
+                "exponential-n7",
+                lambda: _malicious(5, 1),
+                ExponentialDelayScheduler,
+                ReferenceExponentialDelayScheduler,
+                seeds,
+                max_steps=300,
+            ),
+            BenchConfig(
+                "filtered-n7",
+                lambda: build_failstop_processes(5, 2, balanced_inputs(5)),
+                lambda: FilteredRandomScheduler(lambda env: env.sender != 2),
+                lambda: ReferenceFilteredRandomScheduler(
+                    lambda env: env.sender != 2
+                ),
+                seeds,
+                max_steps=300,
+            ),
+        ]
+    # Full mode.  The acceptance configuration is balancing-n10: the E2
+    # balancing-adversary cell (n=10, k=3) under the balancing delay
+    # scheduler, whose reference implementation pays the O(total-pending)
+    # scan every step.  Step budgets are capped so the reference side
+    # finishes in seconds; both sides run the identical steps regardless.
+    return [
+        BenchConfig(
+            "balancing-n10",
+            lambda: _malicious(10, 3),
+            BalancingDelayScheduler,
+            ReferenceBalancingDelayScheduler,
+            seeds=[1983, 1984],
+            max_steps=12_000,
+        ),
+        BenchConfig(
+            "random-n10",
+            lambda: _malicious(10, 3),
+            RandomScheduler,
+            ReferenceRandomScheduler,
+            seeds=[1983, 1984],
+            max_steps=60_000,
+        ),
+        BenchConfig(
+            "exponential-n7",
+            lambda: _malicious(7, 2),
+            ExponentialDelayScheduler,
+            ReferenceExponentialDelayScheduler,
+            seeds=[1983, 1984],
+            max_steps=4_000,
+        ),
+        BenchConfig(
+            "filtered-n7",
+            lambda: build_failstop_processes(7, 3, balanced_inputs(7)),
+            lambda: FilteredRandomScheduler(lambda env: env.sender != 2),
+            lambda: ReferenceFilteredRandomScheduler(
+                lambda env: env.sender != 2
+            ),
+            seeds=[1983, 1984],
+            max_steps=6_000,
+        ),
+    ]
+
+
+def _time_side(
+    config: BenchConfig, scheduler_factory: Callable[[], Scheduler]
+) -> tuple[int, float]:
+    """Run every seed with fresh processes/scheduler; return (steps, secs)."""
+    total_steps = 0
+    total_seconds = 0.0
+    for seed in config.seeds:
+        processes = config.build()
+        simulation = Simulation(
+            processes, scheduler=scheduler_factory(), seed=seed
+        )
+        started = time.perf_counter()
+        result = simulation.run(max_steps=config.max_steps)
+        total_seconds += time.perf_counter() - started
+        total_steps += result.steps
+    return total_steps, total_seconds
+
+
+def bench_schedulers(smoke: bool = False) -> dict:
+    """Time each scheduler config, optimised vs reference; return results."""
+    out: dict = {}
+    for config in _configs(smoke):
+        new_steps, new_seconds = _time_side(config, config.new_scheduler)
+        ref_steps, ref_seconds = _time_side(config, config.ref_scheduler)
+        if new_steps != ref_steps:
+            raise AssertionError(
+                f"{config.name}: optimised ran {new_steps} steps but the "
+                f"reference ran {ref_steps} — equivalence is broken"
+            )
+        out[config.name] = {
+            "steps": new_steps,
+            "new_seconds": round(new_seconds, 6),
+            "ref_seconds": round(ref_seconds, 6),
+            "new_steps_per_sec": round(new_steps / new_seconds, 1),
+            "ref_steps_per_sec": round(ref_steps / ref_seconds, 1),
+            "speedup": round(ref_seconds / new_seconds, 2),
+        }
+    return out
+
+
+def bench_parallel(smoke: bool = False, workers: Optional[int] = None) -> dict:
+    """Time run_many serial vs parallel; assert identical aggregates."""
+    if smoke:
+        n, k, seeds = 5, 2, list(range(4))
+    else:
+        n, k, seeds = 7, 3, list(range(24))
+    if workers is None or workers < 2:
+        workers = 4
+
+    def make_runner() -> ExperimentRunner:
+        return ExperimentRunner(
+            lambda seed: build_failstop_processes(n, k, balanced_inputs(n))
+        )
+
+    started = time.perf_counter()
+    serial = make_runner().run_many(seeds, workers=1)
+    serial_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = make_runner().run_many(seeds, workers=workers)
+    parallel_seconds = time.perf_counter() - started
+    identical = serial.results == parallel.results
+    if not identical:
+        raise AssertionError(
+            "parallel run_many diverged from serial on the same seeds"
+        )
+    return {
+        "seeds": len(seeds),
+        "workers": workers,
+        "serial_seconds": round(serial_seconds, 6),
+        "parallel_seconds": round(parallel_seconds, 6),
+        "serial_steps_per_sec": round(
+            sum(r.steps for r in serial.results) / serial_seconds, 1
+        ),
+        "parallel_steps_per_sec": round(
+            sum(r.steps for r in parallel.results) / parallel_seconds, 1
+        ),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "aggregates_identical": identical,
+    }
+
+
+def run_core_benchmark(
+    smoke: bool = False, workers: Optional[int] = None
+) -> dict:
+    """Run the whole core benchmark; return the JSON-ready payload."""
+    return {
+        "benchmark": "core",
+        "mode": "smoke" if smoke else "full",
+        "schedulers": bench_schedulers(smoke=smoke),
+        "parallel": bench_parallel(smoke=smoke, workers=workers),
+    }
+
+
+def write_report(payload: dict, path: str) -> None:
+    """Write the benchmark payload as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -4,19 +4,63 @@
 validates every run (agreement + unanimous validity, unless the
 experiment deliberately breaks the model), and aggregates the metrics
 the paper talks about: phases to decision, steps, messages.
+
+Seed fan-out can run in parallel: ``run_many`` accepts a ``workers``
+count and farms contiguous seed chunks to a ``multiprocessing`` pool
+(fork start method, so the runner's factories — often closures — need
+no pickling).  Every seed still gets its own ``random.Random(seed)``,
+so per-seed results are identical whether computed serially or by any
+worker: the parallel path only changes *where* a seed runs, never what
+it computes, and results are re-assembled in seed order.  ``workers=1``
+(the default) bypasses the pool entirely.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.errors import SimulationLimitError
+from repro.errors import ConfigurationError, SimulationLimitError
 from repro.harness.stats import SummaryStats, summarize
 from repro.net.schedulers import Scheduler
 from repro.procs.base import Process
 from repro.sim.kernel import HaltPredicate, Simulation
-from repro.sim.results import RunResult
+from repro.sim.results import HaltReason, RunResult
+
+#: The runner being executed by the current pool's workers.  Set (in the
+#: parent) immediately before the pool is forked; workers inherit it via
+#: fork, which is what lets lambda/closure factories cross the process
+#: boundary without pickling.
+_POOL_RUNNER: Optional["ExperimentRunner"] = None
+
+
+def default_workers() -> int:
+    """Default parallelism for ``run_many``: the REPRO_WORKERS env var, else 1.
+
+    Serial by default: experiments are often small, and serial runs keep
+    tracebacks and debugging simple.  Set ``REPRO_WORKERS=8`` (or pass
+    ``--workers`` on the CLI) to opt into the pool.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"REPRO_WORKERS={raw!r} is not an integer"
+        ) from exc
+    if value < 1:
+        raise ConfigurationError(f"REPRO_WORKERS must be >= 1, got {value}")
+    return value
+
+
+def _run_seed_chunk(seeds: Sequence[int]) -> list[RunResult]:
+    """Worker body: run a contiguous chunk of seeds on the inherited runner."""
+    runner = _POOL_RUNNER
+    assert runner is not None, "worker forked without a pool runner"
+    return [runner.run_one(seed) for seed in seeds]
 
 #: Builds a fresh process list for a given seed.
 ProcessFactory = Callable[[int], Sequence[Process]]
@@ -76,6 +120,8 @@ class ExperimentRunner:
             (disable only for deliberate out-of-bounds experiments).
         require_termination: raise if a run fails to reach its goal
             within ``max_steps``.
+        workers: default parallelism for :meth:`run_many`; ``None`` means
+            :func:`default_workers` (the REPRO_WORKERS env var, else 1).
     """
 
     def __init__(
@@ -86,6 +132,7 @@ class ExperimentRunner:
         validate: bool = True,
         require_termination: bool = True,
         halt_when: Optional[HaltPredicate] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.process_factory = process_factory
         self.scheduler_factory = scheduler_factory
@@ -93,6 +140,7 @@ class ExperimentRunner:
         self.validate = validate
         self.require_termination = require_termination
         self.halt_when = halt_when
+        self.workers = workers
 
     def run_one(self, seed: int) -> RunResult:
         """Execute a single seeded run, with validation."""
@@ -109,16 +157,76 @@ class ExperimentRunner:
         if self.validate:
             result.check_agreement()
             result.check_unanimous_validity()
-        if self.require_termination and not result.all_correct_decided:
+        if (
+            self.require_termination
+            and result.halt_reason is not HaltReason.GOAL_REACHED
+            and not result.all_correct_decided
+        ):
+            # GOAL_REACHED means the configured halting predicate held —
+            # a custom halt_when (e.g. all_correct_exited) legitimately
+            # ends runs where `all_correct_decided` is beside the point,
+            # so only non-goal halts (budget, quiescence) count as
+            # failures to terminate.
             raise SimulationLimitError(
                 f"seed {seed}: run ended ({result.halt_reason.value}) with "
                 f"undecided correct processes after {result.steps} steps"
             )
         return result
 
-    def run_many(self, seeds: Sequence[int]) -> ReplicatedRuns:
-        """Execute every seed and return the aggregate."""
+    def run_many(
+        self, seeds: Sequence[int], workers: Optional[int] = None
+    ) -> ReplicatedRuns:
+        """Execute every seed and return the aggregate.
+
+        With ``workers > 1`` the seeds are split into contiguous chunks
+        and executed on a fork-based process pool; results come back in
+        seed order, so the aggregate is identical to a serial run of the
+        same seed list (each seed's execution depends only on its own
+        ``random.Random(seed)``).  Falls back to the serial path when
+        ``workers`` resolves to 1, fewer than two seeds are given, or
+        the platform cannot fork.
+        """
+        if workers is None:
+            workers = self.workers if self.workers is not None else default_workers()
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        seeds = list(seeds)
         runs = ReplicatedRuns()
+        nworkers = min(workers, len(seeds))
+        if nworkers > 1:
+            chunks = self._run_chunks_parallel(seeds, nworkers)
+            if chunks is not None:
+                for chunk in chunks:
+                    for result in chunk:
+                        runs.append(result)
+                return runs
         for seed in seeds:
             runs.append(self.run_one(seed))
         return runs
+
+    def _run_chunks_parallel(
+        self, seeds: list[int], nworkers: int
+    ) -> Optional[list[list[RunResult]]]:
+        """Run seed chunks on a fork pool; None if fork is unavailable."""
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return None
+        # ~4 chunks per worker balances load (runs vary in length) against
+        # per-chunk dispatch overhead; chunks are contiguous so the result
+        # order is simply the seed order.
+        chunk_size = max(1, -(-len(seeds) // (nworkers * 4)))
+        chunks = [
+            seeds[start : start + chunk_size]
+            for start in range(0, len(seeds), chunk_size)
+        ]
+        global _POOL_RUNNER
+        previous = _POOL_RUNNER
+        _POOL_RUNNER = self
+        try:
+            with context.Pool(processes=nworkers) as pool:
+                return pool.map(_run_seed_chunk, chunks)
+        finally:
+            _POOL_RUNNER = previous

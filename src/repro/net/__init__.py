@@ -22,7 +22,7 @@ probability at least ε of being the view actually seen.
 
 from repro.net.message import Envelope
 from repro.net.buffer import MessageBuffer
-from repro.net.system import MessageSystem
+from repro.net.system import AliveView, MessageSystem
 from repro.net.schedulers import (
     Scheduler,
     RandomScheduler,
@@ -35,6 +35,7 @@ from repro.net.schedulers import (
 )
 
 __all__ = [
+    "AliveView",
     "Envelope",
     "MessageBuffer",
     "MessageSystem",

@@ -33,24 +33,55 @@ The library ships four schedulers:
     of 0-valued and 1-valued traffic balanced — the slow-convergence
     behaviour Section 4 ascribes to worst-case faulty processes, applied
     here to the network itself as a stress test.
+
+Performance architecture.  Every scheduler here is written against the
+message system's incremental structures instead of per-step rescans:
+
+* Schedulers that need per-envelope bookkeeping implement the system's
+  observer ("send-hook") protocol — ``on_put(pid, env)`` /
+  ``on_removed(pid, env)`` — and are wired up once per simulation via
+  :meth:`Scheduler.attach` (the kernel calls it; direct users get
+  attached lazily on the first ``choose``).
+* Random draws are made *count-first*: a scheduler computes the number
+  of candidates from its incremental counters, draws
+  ``rng.randrange(total)`` (which consumes exactly the same RNG state as
+  the historical ``rng.choice(candidate_list)``), and then materialises
+  only the drawn candidate.  Per-step cost drops from O(total pending)
+  to O(n + one partial buffer scan) while every (processes, scheduler,
+  seed) triple replays bit-identically against the pre-optimisation
+  implementations (see ``repro.net.reference`` and the golden
+  equivalence tests).
+* :class:`ExponentialDelayScheduler` keeps a min-heap of
+  (deadline, seq) with lazy invalidation, assigning delays to newly
+  observed envelopes in exactly the historical scan order so the RNG
+  stream is unchanged.
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from collections import defaultdict
+from heapq import heappop, heappush
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.net.message import Envelope
-from repro.net.system import MessageSystem, deliverable_pairs
+from repro.net.system import AliveView, MessageSystem, deliverable_pairs
 
 #: A scheduling decision: (process id, envelope-or-φ).  ``None`` as the
 #: envelope means the step's receive returns φ.  A ``None`` decision (no
 #: tuple at all) means the scheduler found nothing deliverable: the system
 #: is quiescent from the scheduler's point of view.
 Decision = Optional[tuple[int, Optional[Envelope]]]
+
+
+def _alive_set(alive: Iterable[int]):
+    """Set-like view of ``alive`` without rebuilding when avoidable."""
+    if isinstance(alive, AliveView):
+        return alive.pid_set
+    if isinstance(alive, (set, frozenset)):
+        return alive
+    return set(alive)
 
 
 class Scheduler(ABC):
@@ -66,6 +97,8 @@ class Scheduler(ABC):
             system: the message system holding all buffers.
             alive: ids of processes that can still take steps (correct
                 processes that have not exited, plus live faulty ones).
+                The kernel passes an :class:`~repro.net.system.AliveView`
+                (ordered, O(1) membership); any iterable is accepted.
             rng: the simulation's random source; schedulers must draw all
                 randomness from it so runs are reproducible by seed.
 
@@ -77,6 +110,15 @@ class Scheduler(ABC):
 
     def reset(self) -> None:
         """Clear any internal bookkeeping (called once per simulation)."""
+
+    def attach(self, system: MessageSystem) -> None:
+        """Bind to ``system`` ahead of the run (called by the kernel).
+
+        Schedulers with incremental candidate bookkeeping override this
+        to register as a system observer and (re)build their indexes
+        from the current buffer contents.  The base implementation is a
+        no-op, so third-party schedulers remain source-compatible.
+        """
 
 
 class RandomScheduler(Scheduler):
@@ -103,22 +145,36 @@ class RandomScheduler(Scheduler):
             )
         self.phi_probability = phi_probability
         self.weight_by_buffer = weight_by_buffer
+        # Reused cumulative-weight scratch buffer: `choose` refills it in
+        # place instead of allocating fresh weight lists every step.
+        self._cum: list[int] = []
 
     def choose(
         self, system: MessageSystem, alive: Iterable[int], rng: random.Random
     ) -> Decision:
-        alive = list(alive)
+        if not isinstance(alive, (AliveView, list, tuple)):
+            alive = list(alive)
         candidates = deliverable_pairs(system, alive)
         if not candidates:
             return None
         if self.phi_probability and rng.random() < self.phi_probability:
             return rng.choice(alive), None
+        buffers = system._buffers
         if self.weight_by_buffer:
-            weights = [len(system.buffer_of(pid)) for pid in candidates]
-            pid = rng.choices(candidates, weights=weights, k=1)[0]
+            # Same draw as rng.choices(candidates, weights=buffer_lens):
+            # passing the integer cumulative sums directly skips the
+            # per-step accumulate() allocation but hits the identical
+            # single random() call and bisect.
+            cum = self._cum
+            cum.clear()
+            total = 0
+            for pid in candidates:
+                total += len(buffers[pid])
+                cum.append(total)
+            pid = rng.choices(candidates, cum_weights=cum, k=1)[0]
         else:
             pid = rng.choice(candidates)
-        return pid, system.buffer_of(pid).take_random(rng)
+        return pid, buffers[pid].take_random(rng)
 
 
 class FifoScheduler(Scheduler):
@@ -138,14 +194,23 @@ class FifoScheduler(Scheduler):
     def choose(
         self, system: MessageSystem, alive: Iterable[int], rng: random.Random
     ) -> Decision:
-        alive_set = set(alive)
-        n = system.n
-        for offset in range(n):
-            pid = (self._cursor + offset) % n
-            if pid in alive_set and system.buffer_of(pid):
-                self._cursor = (pid + 1) % n
-                return pid, system.buffer_of(pid).take_oldest()
-        return None
+        alive_set = _alive_set(alive)
+        # Ascending ids with mail; pick the first at/after the cursor,
+        # wrapping — identical to the historical modular scan but O(live)
+        # instead of O(n).
+        candidates = [
+            pid for pid in system.processes_with_mail() if pid in alive_set
+        ]
+        if not candidates:
+            return None
+        cursor = self._cursor
+        chosen = candidates[0]
+        for pid in candidates:
+            if pid >= cursor:
+                chosen = pid
+                break
+        self._cursor = (chosen + 1) % system.n
+        return chosen, system._buffers[chosen].take_oldest()
 
 
 class PartitionScheduler(Scheduler):
@@ -172,6 +237,9 @@ class PartitionScheduler(Scheduler):
             raise ConfigurationError("PartitionScheduler needs at least one group")
         self.active_index = 0
         self.inner = inner if inner is not None else RandomScheduler()
+        self._system: Optional[MessageSystem] = None
+        #: per-pid list of per-group pending counts (sender in group).
+        self._group_counts: list[list[int]] = []
 
     @property
     def active_group(self) -> frozenset[int]:
@@ -186,26 +254,75 @@ class PartitionScheduler(Scheduler):
             )
         self.active_index = index
 
+    def reset(self) -> None:
+        # Forward to the inner scheduler so its state (e.g. a Fifo
+        # cursor) does not leak across simulations.
+        self.inner.reset()
+        self._system = None
+
+    def attach(self, system: MessageSystem) -> None:
+        self._system = system
+        counts = [[0] * len(self.groups) for _ in range(system.n)]
+        self._group_counts = counts
+        for pid, buffer in enumerate(system._buffers):
+            for env in buffer.peek_all():
+                row = counts[pid]
+                for gi, group in enumerate(self.groups):
+                    if env.sender in group:
+                        row[gi] += 1
+        system.register_observer(self)
+        self.inner.attach(system)
+
+    def on_put(self, pid: int, envelope: Envelope) -> None:
+        """Observer hook: count the new envelope toward its sender's groups."""
+        row = self._group_counts[pid]
+        sender = envelope.sender
+        for gi, group in enumerate(self.groups):
+            if sender in group:
+                row[gi] += 1
+
+    def on_removed(self, pid: int, envelope: Envelope) -> None:
+        """Observer hook: uncount a delivered/dropped envelope."""
+        row = self._group_counts[pid]
+        sender = envelope.sender
+        for gi, group in enumerate(self.groups):
+            if sender in group:
+                row[gi] -= 1
+
     def choose(
         self, system: MessageSystem, alive: Iterable[int], rng: random.Random
     ) -> Decision:
+        if self._system is not system:
+            self.attach(system)
         group = self.active_group
-        members = [pid for pid in alive if pid in group]
-        # Build a view restricted to intra-group traffic by temporarily
-        # selecting only envelopes whose sender is inside the group.
-        candidates: list[tuple[int, int]] = []  # (pid, index into buffer)
-        for pid in members:
-            buffer = system.buffer_of(pid)
-            for index, env in enumerate(buffer.peek_all()):
-                if env.sender in group:
-                    candidates.append((pid, index))
-        if not candidates:
+        gi = self.active_index
+        counts = self._group_counts
+        # Count intra-group candidates per member, preserving the given
+        # alive order (the historical candidate enumeration order).
+        members: list[tuple[int, int]] = []
+        total = 0
+        for pid in alive:
+            if pid in group:
+                count = counts[pid][gi]
+                if count:
+                    members.append((pid, count))
+                    total += count
+        if not total:
             return None
-        pid, index = rng.choice(candidates)
-        # peek_all() snapshots in list order, so the index is valid for
-        # take_at as long as nothing mutated the buffer in between (nothing
-        # has: we are single-threaded within one scheduling decision).
-        return pid, system.buffer_of(pid).take_at(index)
+        # Same RNG state transition as rng.choice(candidate_list).
+        k = rng.randrange(total)
+        buffers = system._buffers
+        for pid, count in members:
+            if k >= count:
+                k -= count
+                continue
+            buffer = buffers[pid]
+            for index, env in enumerate(buffer._items):
+                if env.sender in group:
+                    if k == 0:
+                        return pid, buffer.take_at(index)
+                    k -= 1
+        raise AssertionError("partition candidate counts out of sync")
 
 
 class ExponentialDelayScheduler(Scheduler):
@@ -223,7 +340,17 @@ class ExponentialDelayScheduler(Scheduler):
     Delays are assigned lazily the first time an envelope is considered;
     by memorylessness of the exponential this is equivalent to stamping
     at send time, and it spares the scheduler any coupling to the kernel
-    send path.
+    send path.  Newly observed envelopes are collected through the send
+    hook and stamped in the historical scan order (recipient ascending,
+    buffer order), so the RNG stream matches the pre-heap implementation
+    draw for draw.
+
+    Delivery order is resolved by a min-heap of (deadline, seq) with
+    lazy invalidation: entries whose envelope has already left its
+    buffer are discarded when they surface; entries whose recipient is
+    currently not schedulable are deferred and re-pushed.  Per-step cost
+    is O(log m) plus the stamping of new arrivals, replacing the former
+    full scan over every pending envelope.
 
     Every view of a phase still has positive probability (delays are
     independent and unbounded-support), so the paper's probabilistic
@@ -239,30 +366,97 @@ class ExponentialDelayScheduler(Scheduler):
         self.mean_delay = mean_delay
         self.now = 0.0
         self._deadlines: dict[int, float] = {}
+        #: min-heap of (deadline, seq, pid, envelope); lazily invalidated.
+        self._heap: list[tuple[float, int, int, Envelope]] = []
+        #: envelopes seen by the send hook but not yet deadline-stamped,
+        #: grouped by recipient in arrival order.
+        self._unstamped: dict[int, list[Envelope]] = {}
+        self._system: Optional[MessageSystem] = None
 
     def reset(self) -> None:
         self.now = 0.0
         self._deadlines.clear()
+        self._heap.clear()
+        self._unstamped.clear()
+        self._system = None
+
+    def attach(self, system: MessageSystem) -> None:
+        self._system = system
+        self._heap.clear()
+        self._unstamped.clear()
+        for pid, buffer in enumerate(system._buffers):
+            for env in buffer.peek_all():
+                self.on_put(pid, env)
+        system.register_observer(self)
+
+    def on_put(self, pid: int, envelope: Envelope) -> None:
+        """Observer hook: queue the envelope for lazy deadline stamping."""
+        deadline = self._deadlines.get(envelope.seq)
+        if deadline is not None:
+            # Re-inserted envelope that already carries a delay.
+            heappush(self._heap, (deadline, envelope.seq, pid, envelope))
+        else:
+            queue = self._unstamped.get(pid)
+            if queue is None:
+                queue = self._unstamped[pid] = []
+            queue.append(envelope)
+
+    def on_removed(self, pid: int, envelope: Envelope) -> None:
+        """Observer hook: no-op — stale heap entries are invalidated lazily.
+
+        Removal through any path leaves the heap/queue entry behind; it
+        is re-checked against the buffer (``index_of``) and discarded
+        the next time it surfaces.
+        """
 
     def choose(
         self, system: MessageSystem, alive: Iterable[int], rng: random.Random
     ) -> Decision:
-        best: Optional[tuple[float, int, int]] = None  # (deadline, pid, index)
-        for pid in deliverable_pairs(system, alive):
-            for index, env in enumerate(system.buffer_of(pid).peek_all()):
-                deadline = self._deadlines.get(env.seq)
-                if deadline is None:
-                    deadline = self.now + rng.expovariate(1.0 / self.mean_delay)
-                    self._deadlines[env.seq] = deadline
-                if best is None or deadline < best[0]:
-                    best = (deadline, pid, index)
-        if best is None:
+        if self._system is not system:
+            self.attach(system)
+        candidates = deliverable_pairs(system, alive)
+        if not candidates:
             return None
-        deadline, pid, index = best
-        envelope = system.buffer_of(pid).take_at(index)
-        self._deadlines.pop(envelope.seq, None)
-        self.now = max(self.now, deadline)
-        return pid, envelope
+        buffers = system._buffers
+        deadlines = self._deadlines
+        heap = self._heap
+        unstamped = self._unstamped
+        rate = 1.0 / self.mean_delay
+        now = self.now
+        # Stamp new arrivals for schedulable recipients, in recipient
+        # order then arrival order — the exact historical draw order.
+        for pid in candidates:
+            queue = unstamped.get(pid)
+            if not queue:
+                continue
+            buffer = buffers[pid]
+            for env in queue:
+                if env.seq in deadlines or buffer.index_of(env) is None:
+                    continue
+                deadline = now + rng.expovariate(rate)
+                deadlines[env.seq] = deadline
+                heappush(heap, (deadline, env.seq, pid, env))
+            queue.clear()
+        candidate_set = set(candidates)
+        deferred: list[tuple[float, int, int, Envelope]] = []
+        try:
+            while heap:
+                deadline, seq, pid, env = heap[0]
+                position = buffers[pid].index_of(env)
+                if position is None:
+                    heappop(heap)  # envelope already delivered/dropped
+                    continue
+                if pid not in candidate_set:
+                    deferred.append(heappop(heap))
+                    continue
+                heappop(heap)
+                deadlines.pop(seq, None)
+                self.now = max(self.now, deadline)
+                return pid, buffers[pid].take_at(position)
+        finally:
+            for item in deferred:
+                heappush(heap, item)
+        return None
 
 
 class FilteredRandomScheduler(Scheduler):
@@ -275,23 +469,86 @@ class FilteredRandomScheduler(Scheduler):
     exactly what the lower-bound scenarios need: Theorem 3's replay
     withholds the malicious overlap's pre-reset messages from the second
     group forever.
+
+    Predicate results are cached incrementally: each envelope is
+    classified once when it enters a buffer, and the whole cache is
+    rebuilt when ``predicate`` is reassigned.  Swap predicates by
+    assignment (as the lower-bound scenarios do); mutating hidden state
+    *inside* an installed predicate is not observed.
     """
 
     def __init__(self, predicate) -> None:
-        self.predicate = predicate
+        self._predicate = predicate
+        self._system: Optional[MessageSystem] = None
+        #: per-pid set of id(envelope) for pending envelopes that pass.
+        self._passing: list[set[int]] = []
+
+    @property
+    def predicate(self):
+        """The currently installed delivery predicate."""
+        return self._predicate
+
+    @predicate.setter
+    def predicate(self, fn) -> None:
+        self._predicate = fn
+        if self._system is not None:
+            self._rebuild(self._system)
+
+    def reset(self) -> None:
+        self._system = None
+        self._passing = []
+
+    def attach(self, system: MessageSystem) -> None:
+        self._system = system
+        self._rebuild(system)
+        system.register_observer(self)
+
+    def _rebuild(self, system: MessageSystem) -> None:
+        predicate = self._predicate
+        self._passing = [
+            {id(env) for env in buffer.peek_all() if predicate(env)}
+            for buffer in system._buffers
+        ]
+
+    def on_put(self, pid: int, envelope: Envelope) -> None:
+        """Observer hook: classify the new envelope against the predicate."""
+        if self._predicate(envelope):
+            self._passing[pid].add(id(envelope))
+
+    def on_removed(self, pid: int, envelope: Envelope) -> None:
+        """Observer hook: forget a delivered/dropped envelope."""
+        self._passing[pid].discard(id(envelope))
 
     def choose(
         self, system: MessageSystem, alive: Iterable[int], rng: random.Random
     ) -> Decision:
-        candidates: list[tuple[int, int]] = []
-        for pid in deliverable_pairs(system, alive):
-            for index, env in enumerate(system.buffer_of(pid).peek_all()):
-                if self.predicate(env):
-                    candidates.append((pid, index))
+        if self._system is not system:
+            self.attach(system)
+        candidates = deliverable_pairs(system, alive)
         if not candidates:
             return None
-        pid, index = rng.choice(candidates)
-        return pid, system.buffer_of(pid).take_at(index)
+        passing = self._passing
+        total = 0
+        for pid in candidates:
+            total += len(passing[pid])
+        if not total:
+            return None
+        # Same RNG state transition as rng.choice(candidate_list).
+        k = rng.randrange(total)
+        buffers = system._buffers
+        for pid in candidates:
+            count = len(passing[pid])
+            if k >= count:
+                k -= count
+                continue
+            allowed = passing[pid]
+            buffer = buffers[pid]
+            for index, env in enumerate(buffer._items):
+                if id(env) in allowed:
+                    if k == 0:
+                        return pid, buffer.take_at(index)
+                    k -= 1
+        raise AssertionError("filtered candidate counts out of sync")
 
 
 class ScriptedScheduler(Scheduler):
@@ -306,6 +563,9 @@ class ScriptedScheduler(Scheduler):
     This is the tool for writing the paper's proof schedules as code:
     the Theorem 1 splice σ = σ₀·σ₁ and the equivocation attack on the
     echo-less variant are both expressed as scripts in the test suite.
+    Each scripted lookup uses the buffer's per-sender index
+    (:meth:`~repro.net.buffer.MessageBuffer.take_oldest_from`), so it is
+    O(log m) instead of a full buffer scan.
     """
 
     def __init__(
@@ -322,6 +582,10 @@ class ScriptedScheduler(Scheduler):
         if self.fallback is not None:
             self.fallback.reset()
 
+    def attach(self, system: MessageSystem) -> None:
+        if self.fallback is not None:
+            self.fallback.attach(system)
+
     @property
     def exhausted(self) -> bool:
         """True once every scripted delivery has been attempted."""
@@ -330,25 +594,27 @@ class ScriptedScheduler(Scheduler):
     def choose(
         self, system: MessageSystem, alive: Iterable[int], rng: random.Random
     ) -> Decision:
-        alive_set = set(alive)
+        alive_set = _alive_set(alive)
         while self._position < len(self.script):
             recipient, sender = self.script[self._position]
             self._position += 1
             if recipient not in alive_set:
                 continue
-            buffer = system.buffer_of(recipient)
-            matches = [
-                (env.seq, index)
-                for index, env in enumerate(buffer.peek_all())
-                if env.sender == sender
-            ]
-            if not matches:
+            envelope = system._buffers[recipient].take_oldest_from(sender)
+            if envelope is None:
                 continue
-            _, index = min(matches)
-            return recipient, buffer.take_at(index)
+            return recipient, envelope
         if self.fallback is not None:
             return self.fallback.choose(system, alive, rng)
         return None
+
+
+def _value_class(payload) -> int:
+    """Classify a payload for the balancing adversary: 0, 1, or neutral(2)."""
+    value = getattr(payload, "value", None)
+    if value in (0, 1):
+        return 1 if value == 1 else 0
+    return 2
 
 
 class BalancingDelayScheduler(Scheduler):
@@ -361,6 +627,16 @@ class BalancingDelayScheduler(Scheduler):
     *less* of — pushing every view toward an even split, which is the
     slowest-converging direction for majority-style protocols (Section 4).
 
+    Implementation: because an envelope's score depends only on its
+    recipient and its value class, the scheduler keeps per-recipient
+    pending counts per class (maintained through the send hook) plus the
+    per-recipient delivered 0/1 tallies.  Each step computes the best
+    score over at most 3 classes per live recipient, draws the winning
+    candidate index count-first, and scans a single buffer to
+    materialise it — O(n + one partial buffer scan) per step versus the
+    former scan over every pending envelope, with an unchanged RNG
+    stream.
+
     This scheduler is a *stressor*, not part of the model: the paper's
     probabilistic assumption excludes adversaries with total scheduling
     power.  Benchmarks use it to show the protocols still terminate in
@@ -369,37 +645,93 @@ class BalancingDelayScheduler(Scheduler):
     """
 
     def __init__(self) -> None:
-        self._per_recipient_value_counts: dict[int, dict[int, int]] = defaultdict(
-            lambda: defaultdict(int)
-        )
+        #: per-recipient delivered tallies [count of 0s, count of 1s].
+        self._delivered: dict[int, list[int]] = {}
+        #: per-recipient pending counts [zeros, ones, neutral].
+        self._pending: list[list[int]] = []
+        self._system: Optional[MessageSystem] = None
 
     def reset(self) -> None:
-        self._per_recipient_value_counts.clear()
+        self._delivered.clear()
+        self._pending = []
+        self._system = None
+
+    def attach(self, system: MessageSystem) -> None:
+        self._system = system
+        pending = [[0, 0, 0] for _ in range(system.n)]
+        for pid, buffer in enumerate(system._buffers):
+            row = pending[pid]
+            for env in buffer.peek_all():
+                row[_value_class(env.payload)] += 1
+        self._pending = pending
+        system.register_observer(self)
+
+    def on_put(self, pid: int, envelope: Envelope) -> None:
+        """Observer hook: count the new envelope's value class as pending."""
+        self._pending[pid][_value_class(envelope.payload)] += 1
+
+    def on_removed(self, pid: int, envelope: Envelope) -> None:
+        """Observer hook: uncount a delivered/dropped envelope."""
+        self._pending[pid][_value_class(envelope.payload)] -= 1
 
     def choose(
         self, system: MessageSystem, alive: Iterable[int], rng: random.Random
     ) -> Decision:
-        best: list[tuple[int, int]] = []
-        best_score: float | None = None
-        for pid in deliverable_pairs(system, alive):
-            counts = self._per_recipient_value_counts[pid]
-            for index, env in enumerate(system.buffer_of(pid).peek_all()):
-                value = getattr(env.payload, "value", None)
-                if value in (0, 1):
-                    # Deficit of this value at this recipient: the more the
-                    # recipient lacks this value, the more we want it in.
-                    score = counts[1 - value] - counts[value]
-                else:
-                    score = 0
-                if best_score is None or score > best_score:
-                    best, best_score = [(pid, index)], score
-                elif score == best_score:
-                    best.append((pid, index))
-        if not best:
+        if self._system is not system:
+            self.attach(system)
+        candidates = deliverable_pairs(system, alive)
+        if not candidates:
             return None
-        pid, index = rng.choice(best)
-        envelope = system.buffer_of(pid).take_at(index)
-        value = getattr(envelope.payload, "value", None)
-        if value in (0, 1):
-            self._per_recipient_value_counts[pid][value] += 1
-        return pid, envelope
+        delivered = self._delivered
+        pending = self._pending
+        # The score of a pending envelope is the recipient's deficit of
+        # its value: counts[1-v] - counts[v]; neutral payloads score 0.
+        # With d = delivered_ones - delivered_zeros that is d for class
+        # 0, -d for class 1, and 0 for neutral — so the global best and
+        # the tie count come from at most 3 classes per live recipient.
+        best: Optional[int] = None
+        total = 0
+        for pid in candidates:
+            tallies = delivered.get(pid)
+            d = tallies[1] - tallies[0] if tallies else 0
+            row = pending[pid]
+            for cls, score in ((0, d), (1, -d), (2, 0)):
+                count = row[cls]
+                if not count:
+                    continue
+                if best is None or score > best:
+                    best = score
+                    total = count
+                elif score == best:
+                    total += count
+        if not total:
+            return None
+        # Same RNG state transition as rng.choice(tied_candidates).
+        k = rng.randrange(total)
+        buffers = system._buffers
+        for pid in candidates:
+            tallies = delivered.get(pid)
+            d = tallies[1] - tallies[0] if tallies else 0
+            row = pending[pid]
+            subtotal = (
+                (row[0] if d == best else 0)
+                + (row[1] if -d == best else 0)
+                + (row[2] if 0 == best else 0)
+            )
+            if k >= subtotal:
+                k -= subtotal
+                continue
+            wanted = (d == best, -d == best, 0 == best)
+            buffer = buffers[pid]
+            for index, env in enumerate(buffer._items):
+                if wanted[_value_class(env.payload)]:
+                    if k == 0:
+                        envelope = buffer.take_at(index)
+                        value = getattr(envelope.payload, "value", None)
+                        if value in (0, 1):
+                            if tallies is None:
+                                tallies = delivered[pid] = [0, 0]
+                            tallies[1 if value == 1 else 0] += 1
+                        return pid, envelope
+                    k -= 1
+        raise AssertionError("balancing candidate counts out of sync")

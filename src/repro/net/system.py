@@ -14,15 +14,60 @@ Two properties of the paper's model are enforced here:
   from anything the sending process controls.  A malicious process can
   put arbitrary *payloads* on the wire but cannot impersonate another
   transport identity.
+
+Performance architecture.  The system maintains incremental aggregate
+structures so per-step scheduler queries are O(1)/O(live) instead of
+O(n)/O(pending):
+
+* ``_with_mail`` — the set of pids whose buffers are non-empty, updated
+  on every buffer transition (kills the per-step ``processes_with_mail``
+  rescan);
+* ``_pending`` — a running total of undelivered envelopes;
+* an **observer (send-hook) API** — :meth:`register_observer` lets a
+  scheduler see every envelope as it enters or leaves a buffer
+  (``on_put(pid, envelope)`` / ``on_removed(pid, envelope)``), which is
+  how the heap/count-based schedulers keep their candidate bookkeeping
+  incremental instead of rescanning buffers each step.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from repro.errors import ConfigurationError
 from repro.net.buffer import MessageBuffer
 from repro.net.message import Envelope
+
+
+class AliveView:
+    """An ordered collection of live pids with O(1) membership tests.
+
+    The simulation kernel passes one of these to ``Scheduler.choose`` so
+    schedulers get both the deterministic iteration order of a list and
+    set-speed ``in`` checks without rebuilding ``set(alive)`` every step.
+    Plain iterables remain accepted everywhere for backward compatibility.
+    """
+
+    __slots__ = ("pids", "pid_set")
+
+    def __init__(self, pids: Iterable[int]) -> None:
+        self.pids: tuple[int, ...] = tuple(pids)
+        self.pid_set: frozenset[int] = frozenset(self.pids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.pids)
+
+    def __len__(self) -> int:
+        return len(self.pids)
+
+    def __getitem__(self, index: int) -> int:
+        return self.pids[index]
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self.pid_set
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AliveView({list(self.pids)!r})"
 
 
 class MessageSystem:
@@ -41,7 +86,10 @@ class MessageSystem:
         if n < 1:
             raise ConfigurationError(f"need at least one process, got n={n}")
         self.n = n
-        self._buffers = [MessageBuffer() for _ in range(n)]
+        self._buffers = [MessageBuffer(listener=self, pid=pid) for pid in range(n)]
+        self._with_mail: set[int] = set()
+        self._pending = 0
+        self._observers: list = []
         self.messages_sent = 0
         self.messages_delivered = 0
 
@@ -86,12 +134,12 @@ class MessageSystem:
         self.messages_delivered += 1
 
     def pending_total(self) -> int:
-        """Total number of undelivered envelopes across all buffers."""
-        return sum(len(buf) for buf in self._buffers)
+        """Total number of undelivered envelopes across all buffers (O(1))."""
+        return self._pending
 
     def processes_with_mail(self) -> list[int]:
-        """Ids of processes whose buffers are non-empty."""
-        return [pid for pid in range(self.n) if self._buffers[pid]]
+        """Ids of processes whose buffers are non-empty (ascending)."""
+        return sorted(self._with_mail)
 
     def snapshot(self) -> dict[int, tuple[Envelope, ...]]:
         """Immutable view of every buffer, for tests and tracing."""
@@ -104,6 +152,43 @@ class MessageSystem:
         deliberately break assumptions (documented wherever used).
         """
         return sum(buf.remove_where(predicate) for buf in self._buffers)
+
+    # ------------------------------------------------------------------ #
+    # Observer (send-hook) API
+    # ------------------------------------------------------------------ #
+
+    def register_observer(self, observer) -> None:
+        """Subscribe ``observer`` to buffer mutations (idempotent).
+
+        ``observer.on_put(pid, envelope)`` fires after an envelope enters
+        the buffer of ``pid``; ``observer.on_removed(pid, envelope)``
+        fires after it leaves (delivery *or* experimental drop).  Hooks
+        run synchronously on the hot path — keep them O(1).
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def unregister_observer(self, observer) -> None:
+        """Remove ``observer`` if registered."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    # Buffer-listener callbacks (called by MessageBuffer).
+
+    def _buffer_put(self, pid: int, envelope: Envelope) -> None:
+        self._pending += 1
+        self._with_mail.add(pid)
+        for observer in self._observers:
+            observer.on_put(pid, envelope)
+
+    def _buffer_removed(self, pid: int, envelope: Envelope) -> None:
+        self._pending -= 1
+        if not self._buffers[pid]:
+            self._with_mail.discard(pid)
+        for observer in self._observers:
+            observer.on_removed(pid, envelope)
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -127,7 +212,18 @@ def deliverable_pairs(system: MessageSystem, alive: Iterable[int]) -> list[int]:
 
     Helper shared by schedulers: a process with an empty buffer can only
     take a φ step, which is a no-op for every protocol in this library, so
-    schedulers restrict attention to these ids for progress.
+    schedulers restrict attention to these ids for progress.  Uses the
+    system's incremental non-empty set, so the cost is O(live) rather
+    than O(n); passing an :class:`AliveView` (as the kernel does) avoids
+    rebuilding the alive set as well.
     """
-    alive_set = set(alive)
-    return [pid for pid in system.processes_with_mail() if pid in alive_set]
+    with_mail = system._with_mail
+    if not with_mail:
+        return []
+    if isinstance(alive, AliveView):
+        alive_set: Iterable[int] = alive.pid_set
+    elif isinstance(alive, (set, frozenset)):
+        alive_set = alive
+    else:
+        alive_set = set(alive)
+    return sorted(pid for pid in with_mail if pid in alive_set)

@@ -27,7 +27,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.net.schedulers import RandomScheduler, Scheduler
-from repro.net.system import MessageSystem
+from repro.net.system import AliveView, MessageSystem
 from repro.procs.base import Process
 from repro.sim.events import (
     CrashEvent,
@@ -115,12 +115,16 @@ class Simulation:
         self._trace_enabled = trace
         self._trace: list[TraceEvent] = []
         self._started = False
+        # Cached AliveView handed to the scheduler each step; rebuilt only
+        # when some process's alive status actually changes.
+        self._alive_cache: Optional[AliveView] = None
         # Give randomized processes (e.g. Ben-Or's local coin) access to
         # the run's RNG without them having to be constructed with it.
         for proc in self.processes:
             if getattr(proc, "rng", None) is None and hasattr(proc, "rng"):
                 proc.rng = self.rng
         self.scheduler.reset()
+        self.scheduler.attach(self.system)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -129,7 +133,16 @@ class Simulation:
     @property
     def alive_pids(self) -> list[int]:
         """Ids of processes that can still take steps."""
-        return [proc.pid for proc in self.processes if proc.alive]
+        return list(self._alive_view().pids)
+
+    def _alive_view(self) -> AliveView:
+        """Cached ordered/set view of live pids (see AliveView)."""
+        view = self._alive_cache
+        if view is None:
+            view = self._alive_cache = AliveView(
+                proc.pid for proc in self.processes if proc.alive
+            )
+        return view
 
     @property
     def correct_pids(self) -> frozenset[int]:
@@ -189,7 +202,7 @@ class Simulation:
             halt_reason = HaltReason.GOAL_REACHED
             return self._build_result(halt_reason)
         while self.steps < deadline:
-            decision = self.scheduler.choose(self.system, self.alive_pids, self.rng)
+            decision = self.scheduler.choose(self.system, self._alive_view(), self.rng)
             if decision is None:
                 halt_reason = HaltReason.QUIESCENT
                 break
@@ -215,6 +228,8 @@ class Simulation:
             process.steps_taken += 1
             self._route(pid, sends)
             self._note_transitions(process, was_decided, was_exited)
+            if not process.alive:
+                self._alive_cache = None
             self.steps += 1
             if halt(self):
                 halt_reason = HaltReason.GOAL_REACHED
@@ -241,6 +256,7 @@ class Simulation:
                 f"expected pid={pid}, n={self.n}"
             )
         self.processes[pid] = replacement
+        self._alive_cache = None
         if self._started and replacement.alive:
             sends = replacement.start()
             replacement.steps_taken += 1
@@ -261,6 +277,7 @@ class Simulation:
             self._route(process.pid, sends)
             self._note_transitions(process, was_decided, was_exited)
             self.steps += 1
+        self._alive_cache = None
 
     def _route(self, sender_pid: int, sends) -> None:
         """Deliver an atomic step's sends into the message system."""

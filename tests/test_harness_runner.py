@@ -7,6 +7,7 @@ from repro.harness.builders import build_failstop_processes
 from repro.harness.runner import ExperimentRunner
 from repro.harness.workloads import balanced_inputs, unanimous_inputs
 from repro.net.schedulers import FifoScheduler
+from repro.sim.results import HaltReason
 
 
 class TestExperimentRunner:
@@ -43,6 +44,18 @@ class TestExperimentRunner:
             require_termination=False,
         )
         result = runner.run_one(0)
+        assert not result.all_correct_decided
+
+    def test_custom_halt_goal_does_not_raise(self):
+        # Regression: a custom halt_when that legitimately reaches its
+        # goal used to trip the require_termination check whenever the
+        # goal was not "all correct processes decided".
+        runner = ExperimentRunner(
+            lambda seed: build_failstop_processes(5, 2, balanced_inputs(5)),
+            halt_when=lambda sim: sim.steps >= 20,
+        )
+        result = runner.run_one(0)
+        assert result.halt_reason is HaltReason.GOAL_REACHED
         assert not result.all_correct_decided
 
     def test_scheduler_factory_used(self):

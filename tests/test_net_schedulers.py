@@ -131,6 +131,15 @@ class TestPartitionScheduler:
         with pytest.raises(ConfigurationError):
             PartitionScheduler([])
 
+    def test_reset_forwards_to_inner(self):
+        # Regression: reset() used to leave the inner scheduler's state
+        # (e.g. a Fifo cursor) intact across simulations.
+        inner = FifoScheduler()
+        inner._cursor = 3
+        scheduler = PartitionScheduler([{0, 1}], inner=inner)
+        scheduler.reset()
+        assert inner._cursor == 0
+
 
 class TestFilteredRandomScheduler:
     def test_predicate_limits_deliveries(self):

@@ -1,0 +1,81 @@
+"""Determinism and fallback behaviour of the parallel ``run_many``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.builders import build_failstop_processes
+from repro.harness.runner import ExperimentRunner, default_workers
+from repro.harness.workloads import balanced_inputs
+
+
+def make_runner(**kwargs):
+    return ExperimentRunner(
+        lambda seed: build_failstop_processes(5, 2, balanced_inputs(5)),
+        **kwargs,
+    )
+
+
+SEEDS = list(range(100, 112))
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_exactly(self):
+        serial = make_runner().run_many(SEEDS, workers=1)
+        parallel = make_runner().run_many(SEEDS, workers=4)
+        # Full per-run equality in seed order — not just aggregates.
+        assert serial.results == parallel.results
+
+    def test_aggregate_stats_identical(self):
+        serial = make_runner().run_many(SEEDS, workers=1)
+        parallel = make_runner().run_many(SEEDS, workers=3)
+        assert serial.decision_phase_stats() == parallel.decision_phase_stats()
+        assert serial.steps_stats() == parallel.steps_stats()
+        assert serial.messages_stats() == parallel.messages_stats()
+        assert serial.consensus_values() == parallel.consensus_values()
+
+    def test_worker_count_does_not_change_results(self):
+        baseline = make_runner().run_many(SEEDS, workers=2)
+        assert make_runner().run_many(SEEDS, workers=5).results == baseline.results
+
+    def test_more_workers_than_seeds(self):
+        few = SEEDS[:2]
+        serial = make_runner().run_many(few, workers=1)
+        parallel = make_runner().run_many(few, workers=16)
+        assert serial.results == parallel.results
+
+
+class TestWorkersPlumbing:
+    def test_workers_1_is_serial_fallback(self, monkeypatch):
+        # The serial path must never touch multiprocessing.
+        import repro.harness.runner as runner_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("pool used for workers=1")
+
+        monkeypatch.setattr(
+            runner_module.ExperimentRunner, "_run_chunks_parallel", boom
+        )
+        results = make_runner().run_many(SEEDS[:3], workers=1)
+        assert results.count == 3
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_runner().run_many(SEEDS[:2], workers=0)
+
+    def test_constructor_workers_used_by_default(self):
+        runner = make_runner(workers=2)
+        assert runner.run_many(SEEDS[:4]).count == 4
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        assert default_workers() == 6
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        with pytest.raises(ConfigurationError):
+            default_workers()
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ConfigurationError):
+            default_workers()

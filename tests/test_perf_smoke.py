@@ -1,0 +1,33 @@
+"""Perf smoke target: ``python -m repro bench --smoke`` must not crash.
+
+Marked ``perf_smoke`` so CI can select it (``-m perf_smoke``); it runs in
+the ordinary tier-1 sweep too, keeping the benchmark code permanently
+exercised.  Thresholds are *not* asserted here — timing on shared CI
+hardware is noise; the real numbers live in ``benchmarks/bench_perf_core.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+
+
+@pytest.mark.perf_smoke
+def test_bench_smoke_runs_and_emits_json(tmp_path):
+    out = tmp_path / "BENCH_core.json"
+    assert main(["bench", "--smoke", "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["mode"] == "smoke"
+    assert payload["benchmark"] == "core"
+    assert set(payload["schedulers"]) == {
+        "balancing-n10",
+        "random-n10",
+        "exponential-n7",
+        "filtered-n7",
+    }
+    for row in payload["schedulers"].values():
+        assert row["steps"] > 0
+    assert payload["parallel"]["aggregates_identical"] is True
