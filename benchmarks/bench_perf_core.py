@@ -3,12 +3,16 @@
 Regenerates: ``BENCH_core.json`` at the repo root — steps/sec per
 scheduler (optimised vs the verbatim reference implementations) and the
 serial-vs-parallel ``run_many`` comparison — so the perf trajectory of
-the simulation core is tracked from this PR onward.
+the simulation core is tracked from this PR onward.  An observability
+section records metrics-off vs metrics-on steps/sec on the same
+balancing configuration so the instrumentation overhead claim is
+tracked over time as well.
 
 Shape asserted: the balancing-adversary n=10 configuration (the E2 cell
 whose reference implementation pays an O(total-pending) scan per step)
-must run at ≥ 3x the reference's steps/sec, and the parallel runner must
-produce aggregates identical to the serial path.
+must run at ≥ 3x the reference's steps/sec, the parallel runner must
+produce aggregates identical to the serial path, and enabling metrics
+must not change the executed step count.
 """
 
 from __future__ import annotations
@@ -48,3 +52,9 @@ def test_perf_core(benchmark):
         f"n=10 configuration, measured {schedulers['balancing-n10']['speedup']}x"
     )
     assert payload["parallel"]["aggregates_identical"]
+
+    observability = payload["observability"]
+    assert observability["steps_identical"] is True
+    assert observability["steps"] > 0
+    assert observability["off_steps_per_sec"] > 0
+    assert observability["on_steps_per_sec"] > 0

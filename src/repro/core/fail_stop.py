@@ -163,6 +163,17 @@ class FailStopConsensus(Process):
 
     def _end_of_phase_update(self) -> None:
         """Figure 1's value/cardinality update and phase increment."""
+        metrics = self.metrics
+        if metrics is not None:
+            witnesses = self.witness_count[0] + self.witness_count[1]
+            metrics.inc("failstop.witness.0", self.witness_count[0])
+            metrics.inc("failstop.witness.1", self.witness_count[1])
+            metrics.inc(f"failstop.witnesses.phase.{self.phaseno}", witnesses)
+            metrics.observe("failstop.witnesses_per_phase", witnesses)
+            metrics.observe(
+                "failstop.messages_per_phase",
+                self.message_count[0] + self.message_count[1],
+            )
         if self.witness_count[0] > 0 and self.witness_count[1] > 0:
             raise InvariantViolation(
                 f"process {self.pid} holds witnesses for both values in "

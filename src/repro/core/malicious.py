@@ -213,6 +213,9 @@ class MaliciousConsensus(Process):
             self._advance_phases(sends)
 
     def _apply_echo(self, origin: int, value: int) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("malicious.echoes_counted")
         self._echo_count[(origin, value)] += 1
         if self._echo_count[(origin, value)] == self._accept_at:
             if origin in self._accepted_origins:
@@ -225,6 +228,8 @@ class MaliciousConsensus(Process):
                 return
             self._accepted_origins.add(origin)
             self.message_count[value] += 1
+            if metrics is not None:
+                metrics.inc("malicious.accepts")
 
     def _phase_complete(self) -> bool:
         return self.message_count[0] + self.message_count[1] >= self.n - self.k
@@ -245,7 +250,14 @@ class MaliciousConsensus(Process):
         experiments could otherwise spin forever on conflicting credits.
         """
         star_only_budget = [1]
+        metrics = self.metrics
         while True:
+            if metrics is not None:
+                accepted = self.message_count[0] + self.message_count[1]
+                metrics.inc(
+                    f"malicious.accepts.phase.{self.phaseno}", accepted
+                )
+                metrics.observe("malicious.accepts_per_phase", accepted)
             self.value = majority_value(self.message_count[0], self.message_count[1])
             decided_now = None
             for candidate in (0, 1):

@@ -3,10 +3,18 @@
 Subcommands:
 
 * ``list`` — show the experiment registry (E1–E10) with titles.
-* ``run E3 [E4 ...]`` — run experiments and print their report tables.
+* ``run E3 [E4 ...]`` — run experiments and print their report tables;
+  ``--metrics`` additionally prints each experiment's merged metrics
+  (per-phase witness/accept counts, decision-latency histograms), and
+  ``--trace-out DIR`` streams one JSONL trace file per seed.
 * ``demo`` — one quick consensus run of each protocol, narrated.
 * ``bench`` — the core perf microbenchmark (``--smoke`` for a fast
   crash-check run); writes ``BENCH_core.json``.
+* ``metrics`` — instrumented reference runs of both figure protocols:
+  renders per-run/per-experiment summaries and writes ``metrics.json``;
+  ``--check`` instead runs the observability self-checks (merge
+  determinism, JSONL round-trip, disabled-path silence) as a lint-style
+  exit-code tool for CI.
 
 The same experiment implementations back the pytest benchmarks; the CLI
 exists so a user can regenerate any paper artifact without pytest.
@@ -15,10 +23,12 @@ exists so a user can regenerate any paper artifact without pytest.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
 from repro.harness.experiments import EXPERIMENTS
+from repro.obs import collector
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -30,6 +40,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.harness.tables import render_markdown, to_csv
+    from repro.obs.report import render_metrics_summary
 
     if args.workers is not None:
         if args.workers < 1:
@@ -37,9 +48,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         # Experiments construct their own ExperimentRunners, which pick
         # up REPRO_WORKERS through default_workers().
-        import os
-
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    observing = args.metrics or args.trace_out is not None
+    if args.trace_out is not None:
+        os.makedirs(args.trace_out, exist_ok=True)
     status = 0
     for raw in args.experiments:
         key = raw.lower()
@@ -47,7 +59,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"unknown experiment {raw!r}; try `repro-consensus list`")
             status = 2
             continue
-        report = EXPERIMENTS[key]()
+        if observing:
+            # One collection window per experiment: the registry's
+            # internal ExperimentRunners see it and instrument their runs.
+            collector.begin(trace_out=args.trace_out)
+        try:
+            report = EXPERIMENTS[key]()
+        finally:
+            snapshot, recorded = collector.finish() if observing else (None, 0)
         if args.format == "markdown":
             print(f"### [{report.experiment_id}] {report.title}")
             print(render_markdown(report.headers, report.rows))
@@ -57,6 +76,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(to_csv(report.headers, report.rows), end="")
         else:
             print(report.render())
+        if args.metrics:
+            print()
+            if snapshot is None:
+                print(
+                    f"[{report.experiment_id}] no metrics recorded (this "
+                    "experiment does not run replicated simulations)"
+                )
+            else:
+                print(
+                    render_metrics_summary(
+                        snapshot,
+                        title=(
+                            f"[{report.experiment_id}] metrics over "
+                            f"{recorded} instrumented runs"
+                        ),
+                    )
+                )
         print()
     return status
 
@@ -110,6 +146,166 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The instrumented reference configurations the ``metrics`` subcommand
+#: runs: one per figure protocol, at the canonical (n, k) cells.
+def _metrics_configs():
+    from repro.faults.byzantine import BalancingEchoByzantine
+    from repro.harness.builders import (
+        build_failstop_processes,
+        build_malicious_processes,
+    )
+    from repro.harness.workloads import balanced_inputs
+
+    return {
+        "failstop-n7k3": lambda seed: build_failstop_processes(
+            7, 3, balanced_inputs(7),
+            crashes={0: {"crash_at_step": 3, "keep_sends": 2}},
+        ),
+        "malicious-n7k2": lambda seed: build_malicious_processes(
+            7, 2, balanced_inputs(7),
+            byzantine={
+                5: BalancingEchoByzantine,
+                6: BalancingEchoByzantine,
+            },
+        ),
+    }
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.harness.runner import ExperimentRunner
+    from repro.harness.tables import render_table
+    from repro.obs.report import render_metrics_summary, write_metrics_json
+
+    if args.check:
+        return _metrics_check()
+    if args.seeds < 1:
+        print(f"--seeds must be >= 1, got {args.seeds}")
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}")
+        return 2
+    if args.trace_out is not None:
+        os.makedirs(args.trace_out, exist_ok=True)
+    seeds = list(range(args.seeds))
+    merged_by_config = {}
+    for name, factory in _metrics_configs().items():
+        if args.trace_out is not None:
+            trace_dir = os.path.join(args.trace_out, name)
+            os.makedirs(trace_dir, exist_ok=True)
+            collector.begin(trace_out=trace_dir)
+        runner = ExperimentRunner(factory, max_steps=3_000_000, metrics=True)
+        try:
+            runs = runner.run_many(seeds, workers=args.workers)
+        finally:
+            if args.trace_out is not None:
+                collector.finish()
+        merged = runs.merged_metrics()
+        merged_by_config[name] = merged
+        per_run_rows = [
+            [
+                result.seed,
+                result.steps,
+                result.messages_sent,
+                result.max_phase,
+                result.consensus_value,
+            ]
+            for result in runs.results
+        ]
+        print(
+            render_table(
+                ["seed", "steps", "messages", "max_phase", "decided"],
+                per_run_rows,
+                title=f"{name}: per-run summary ({len(seeds)} seeds)",
+            )
+        )
+        print()
+        print(render_metrics_summary(merged, title=f"{name}: merged metrics"))
+        print()
+    write_metrics_json(merged_by_config, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _metrics_check() -> int:
+    """Observability self-checks as a lint-style exit-code tool (CI).
+
+    Each check prints one PASS/FAIL line; the command exits non-zero if
+    any fails.  Checks: (1) parallel/serial metrics merge determinism,
+    (2) snapshot merge associativity, (3) JSONL sink round-trip through
+    ``validate_trace``, (4) the disabled hot path never touches a sink.
+    """
+    import tempfile
+
+    from repro.harness.builders import build_failstop_processes
+    from repro.harness.runner import ExperimentRunner
+    from repro.harness.workloads import balanced_inputs
+    from repro.obs.metrics import merge_snapshots
+    from repro.obs.sinks import CountingSink, JsonlTraceSink, read_jsonl
+    from repro.sim.kernel import Simulation
+    from repro.sim.trace_tools import message_complexity, validate_trace
+
+    failures = 0
+
+    def check(label: str, ok: bool) -> None:
+        nonlocal failures
+        print(f"{'PASS' if ok else 'FAIL'}  {label}")
+        if not ok:
+            failures += 1
+
+    def factory(seed: int):
+        return build_failstop_processes(5, 2, balanced_inputs(5))
+
+    seeds = list(range(6))
+    serial = ExperimentRunner(factory, metrics=True).run_many(seeds, workers=1)
+    parallel = ExperimentRunner(factory, metrics=True).run_many(seeds, workers=2)
+    check(
+        "parallel run_many metrics identical to serial (per seed + merged)",
+        [r.metrics.stable() for r in serial.results]
+        == [r.metrics.stable() for r in parallel.results]
+        and serial.merged_metrics().stable()
+        == parallel.merged_metrics().stable(),
+    )
+    snaps = [r.metrics.stable() for r in serial.results[:3]]
+    check(
+        "snapshot merge is associative",
+        snaps[0].merge(snaps[1]).merge(snaps[2])
+        == snaps[0].merge(snaps[1].merge(snaps[2]))
+        and merge_snapshots(snaps) == snaps[0].merge(snaps[1]).merge(snaps[2]),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.jsonl")
+        reference = Simulation(factory(0), seed=0, trace=True)
+        reference.run(max_steps=300_000)
+        streamed = Simulation(
+            factory(0), seed=0, sink=JsonlTraceSink(path)
+        )
+        streamed.run(max_steps=300_000)
+        streamed.sink.close()
+        round_tripped = list(read_jsonl(path))
+        ok = round_tripped == list(reference.trace)
+        try:
+            audit = validate_trace(read_jsonl(path))
+            ok = ok and audit.events == len(round_tripped)
+            ok = ok and message_complexity(round_tripped) == message_complexity(
+                reference.trace
+            )
+        except Exception:
+            ok = False
+        check("JSONL trace round-trips and validates as a legal schedule", ok)
+    probe = CountingSink(active=False)
+    silent = Simulation(factory(0), seed=0, sink=probe)
+    result = silent.run(max_steps=300_000)
+    check(
+        "disabled hot path emits no events and no metrics",
+        probe.emitted == 0 and result.metrics is None and result.trace == (),
+    )
+    if failures:
+        print(f"{failures} observability check(s) failed")
+        return 1
+    print("all observability checks passed")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (also exposed as the ``repro-consensus`` script)."""
     parser = argparse.ArgumentParser(
@@ -139,6 +335,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="parallel seed fan-out for the experiments' runners "
         "(default: REPRO_WORKERS env var, else serial)",
     )
+    run_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="instrument the experiment's runs and print merged metrics "
+        "(per-phase witness/accept counts, decision-latency histograms)",
+    )
+    run_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="stream one JSONL trace file per seed into DIR "
+        "(implies instrumented runs)",
+    )
     run_parser.set_defaults(func=_cmd_run)
     subparsers.add_parser("demo", help="quick narrated demo").set_defaults(
         func=_cmd_demo
@@ -165,6 +374,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="worker count for the parallel-runner section (default: 4)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="instrumented reference runs + metrics.json "
+        "(--check: observability self-checks for CI)",
+    )
+    metrics_parser.add_argument(
+        "--seeds",
+        type=int,
+        default=8,
+        metavar="N",
+        help="number of seeds per configuration (default: 8)",
+    )
+    metrics_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel seed fan-out (default: REPRO_WORKERS env var, else serial)",
+    )
+    metrics_parser.add_argument(
+        "--out",
+        default="metrics.json",
+        metavar="PATH",
+        help="where to write the metrics JSON (default: ./metrics.json)",
+    )
+    metrics_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="also stream per-seed JSONL traces into DIR/<config>/",
+    )
+    metrics_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the observability self-checks and exit non-zero on failure",
+    )
+    metrics_parser.set_defaults(func=_cmd_metrics)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -11,8 +11,13 @@ speed, and the benchmark asserts the step counts match.
 
 A second section times ``run_many`` serial vs parallel on one seed list
 and checks the aggregates are identical (the parallel runner's
-determinism contract).  Results are emitted as JSON (``BENCH_core.json``
-by default) so the perf trajectory is tracked from PR to PR.
+determinism contract).  A third section times the same configuration
+with metrics collection off vs on, so the observability layer's
+overhead claim (metrics-off within noise of the uninstrumented PR 1
+core, metrics-on a bounded tax) is tracked over time; because metrics
+never touch the RNG, both sides must execute identical step counts.
+Results are emitted as JSON (``BENCH_core.json`` by default) so the
+perf trajectory is tracked from PR to PR.
 
 ``--smoke`` shrinks every configuration to seconds-scale totals; it
 exists to keep the benchmark code exercised by the tier-1 suite.
@@ -230,6 +235,52 @@ def bench_parallel(smoke: bool = False, workers: Optional[int] = None) -> dict:
     }
 
 
+def bench_observability(smoke: bool = False) -> dict:
+    """Time the kernel with metrics collection off vs on.
+
+    Runs the balancing-adversary configuration both ways and reports
+    steps/sec for each side plus the metrics-on overhead percentage.
+    Metrics are read-only with respect to the execution, so the step
+    counts must match exactly — asserted here, which doubles as a
+    determinism regression test for the instrumentation.
+    """
+    if smoke:
+        n, k, seeds, max_steps = 5, 1, [1], 300
+    else:
+        n, k, seeds, max_steps = 10, 3, [1983, 1984], 12_000
+
+    def time_side(metrics: bool) -> tuple[int, float]:
+        total_steps, total_seconds = 0, 0.0
+        for seed in seeds:
+            simulation = Simulation(
+                _malicious(n, k), seed=seed, metrics=metrics
+            )
+            started = time.perf_counter()
+            result = simulation.run(max_steps=max_steps)
+            total_seconds += time.perf_counter() - started
+            total_steps += result.steps
+        return total_steps, total_seconds
+
+    off_steps, off_seconds = time_side(False)
+    on_steps, on_seconds = time_side(True)
+    if off_steps != on_steps:
+        raise AssertionError(
+            f"metrics changed the execution: {off_steps} steps with metrics "
+            f"off but {on_steps} with metrics on"
+        )
+    return {
+        "steps": off_steps,
+        "off_seconds": round(off_seconds, 6),
+        "on_seconds": round(on_seconds, 6),
+        "off_steps_per_sec": round(off_steps / off_seconds, 1),
+        "on_steps_per_sec": round(on_steps / on_seconds, 1),
+        "metrics_on_overhead_pct": round(
+            (on_seconds / off_seconds - 1.0) * 100.0, 2
+        ),
+        "steps_identical": True,
+    }
+
+
 def run_core_benchmark(
     smoke: bool = False, workers: Optional[int] = None
 ) -> dict:
@@ -239,6 +290,7 @@ def run_core_benchmark(
         "mode": "smoke" if smoke else "full",
         "schedulers": bench_schedulers(smoke=smoke),
         "parallel": bench_parallel(smoke=smoke, workers=workers),
+        "observability": bench_observability(smoke=smoke),
     }
 
 

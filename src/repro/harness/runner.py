@@ -24,6 +24,9 @@ from typing import Callable, Optional, Sequence
 from repro.errors import ConfigurationError, SimulationLimitError
 from repro.harness.stats import SummaryStats, summarize
 from repro.net.schedulers import Scheduler
+from repro.obs import collector
+from repro.obs.metrics import HistogramSnapshot, MetricsSnapshot, merge_snapshots
+from repro.obs.sinks import JsonlTraceSink
 from repro.procs.base import Process
 from repro.sim.kernel import HaltPredicate, Simulation
 from repro.sim.results import HaltReason, RunResult
@@ -54,6 +57,16 @@ def default_workers() -> int:
     if value < 1:
         raise ConfigurationError(f"REPRO_WORKERS must be >= 1, got {value}")
     return value
+
+
+def default_metrics() -> bool:
+    """Default metrics enablement: the REPRO_METRICS env var, else off.
+
+    Off by default to keep the hot path instrumentation-free; set
+    ``REPRO_METRICS=1`` (or pass ``--metrics`` on the CLI, which opens a
+    collection window via :mod:`repro.obs.collector`) to opt in.
+    """
+    return os.environ.get("REPRO_METRICS", "").strip() not in ("", "0")
 
 
 def _run_seed_chunk(seeds: Sequence[int]) -> list[RunResult]:
@@ -107,6 +120,27 @@ class ReplicatedRuns:
         """Fraction of runs with no agreement violation (should be 1.0)."""
         return sum(r.agreement_holds for r in self.results) / len(self.results)
 
+    # ------------------------------------------------------------------ #
+    # Cross-run observability views
+    # ------------------------------------------------------------------ #
+
+    def merged_metrics(self) -> Optional[MetricsSnapshot]:
+        """All runs' metrics folded together, in recorded (seed) order.
+
+        ``None`` when no run collected metrics.  The fold is associative
+        and performed on the seed-ordered result list, so the merged
+        snapshot is byte-identical whether the runs executed serially or
+        on a worker pool (timers aside — strip them with ``.stable()``).
+        """
+        return merge_snapshots(r.metrics for r in self.results)
+
+    def metrics_histogram(self, name: str) -> Optional[HistogramSnapshot]:
+        """The cross-run merge of one named histogram (None if absent)."""
+        merged = self.merged_metrics()
+        if merged is None:
+            return None
+        return merged.histograms.get(name)
+
 
 class ExperimentRunner:
     """Runs a (factory, scheduler, seeds) configuration with validation.
@@ -122,6 +156,11 @@ class ExperimentRunner:
             within ``max_steps``.
         workers: default parallelism for :meth:`run_many`; ``None`` means
             :func:`default_workers` (the REPRO_WORKERS env var, else 1).
+        metrics: collect per-run metrics snapshots
+            (``RunResult.metrics``).  ``None`` (the default) defers to an
+            open :mod:`repro.obs.collector` window or the REPRO_METRICS
+            env var, so ``repro-consensus run <id> --metrics`` reaches
+            runners the experiment registry constructs internally.
     """
 
     def __init__(
@@ -133,6 +172,7 @@ class ExperimentRunner:
         require_termination: bool = True,
         halt_when: Optional[HaltPredicate] = None,
         workers: Optional[int] = None,
+        metrics: Optional[bool] = None,
     ) -> None:
         self.process_factory = process_factory
         self.scheduler_factory = scheduler_factory
@@ -141,19 +181,40 @@ class ExperimentRunner:
         self.require_termination = require_termination
         self.halt_when = halt_when
         self.workers = workers
+        self.metrics = metrics
+
+    def _metrics_enabled(self) -> bool:
+        if self.metrics is not None:
+            return self.metrics
+        return collector.is_active() or default_metrics()
 
     def run_one(self, seed: int) -> RunResult:
         """Execute a single seeded run, with validation."""
         scheduler = (
             self.scheduler_factory(seed) if self.scheduler_factory else None
         )
-        simulation = Simulation(
-            self.process_factory(seed),
-            scheduler=scheduler,
-            seed=seed,
-            halt_when=self.halt_when,
-        )
-        result = simulation.run(max_steps=self.max_steps)
+        sink = None
+        trace_dir = collector.trace_out_dir()
+        if trace_dir is not None:
+            # One JSONL file per seed: parallel workers each own their
+            # seeds' files, so streaming traces stay fan-out safe.
+            sink = JsonlTraceSink(
+                os.path.join(trace_dir, f"trace-seed{seed}.jsonl"),
+                extra={"seed": seed},
+            )
+        try:
+            simulation = Simulation(
+                self.process_factory(seed),
+                scheduler=scheduler,
+                seed=seed,
+                halt_when=self.halt_when,
+                metrics=self._metrics_enabled(),
+                sink=sink,
+            )
+            result = simulation.run(max_steps=self.max_steps)
+        finally:
+            if sink is not None:
+                sink.close()
         if self.validate:
             result.check_agreement()
             result.check_unanimous_validity()
@@ -193,15 +254,22 @@ class ExperimentRunner:
         seeds = list(seeds)
         runs = ReplicatedRuns()
         nworkers = min(workers, len(seeds))
+        parallel_done = False
         if nworkers > 1:
             chunks = self._run_chunks_parallel(seeds, nworkers)
             if chunks is not None:
                 for chunk in chunks:
                     for result in chunk:
                         runs.append(result)
-                return runs
-        for seed in seeds:
-            runs.append(self.run_one(seed))
+                parallel_done = True
+        if not parallel_done:
+            for seed in seeds:
+                runs.append(self.run_one(seed))
+        if collector.is_active():
+            # Fold snapshots in seed order, in the parent only, so the
+            # collected aggregate is identical for any worker count.
+            for result in runs.results:
+                collector.record(result.metrics)
         return runs
 
     def _run_chunks_parallel(

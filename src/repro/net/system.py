@@ -137,6 +137,15 @@ class MessageSystem:
         """Total number of undelivered envelopes across all buffers (O(1))."""
         return self._pending
 
+    def mail_count(self) -> int:
+        """Number of processes whose buffers are non-empty (O(1)).
+
+        The unsorted-size companion to :meth:`processes_with_mail`; used
+        by the observability layer to sample scheduler candidate-set
+        sizes without paying that method's sort.
+        """
+        return len(self._with_mail)
+
     def processes_with_mail(self) -> list[int]:
         """Ids of processes whose buffers are non-empty (ascending)."""
         return sorted(self._with_mail)

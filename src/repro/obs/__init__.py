@@ -1,0 +1,78 @@
+"""repro.obs — observability for the simulation stack.
+
+Three concerns, one subsystem:
+
+* **Metrics** (:mod:`repro.obs.metrics`) — counters, gauges, and
+  fixed-bucket histograms collected per run into a
+  :class:`MetricsRegistry` and frozen into mergeable
+  :class:`MetricsSnapshot` values (``RunResult.metrics``).
+* **Structured tracing** (:mod:`repro.obs.sinks`) — streaming event
+  sinks (in-memory, JSONL, sampling) replacing the monolithic trace
+  list as the kernel's recording backend.
+* **Profiling** (:mod:`repro.obs.timing`) — wall-clock spans around the
+  kernel's hot-path stages, reported in the snapshot's ``timers``
+  section and stripped by ``MetricsSnapshot.stable()`` for
+  determinism-sensitive comparisons.
+
+Everything is zero-cost when disabled: the kernel holds ``None`` instead
+of a registry and an inactive :class:`NullSink`, so the per-step cost of
+the disabled path is a handful of ``is not None`` / ``active`` checks.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    TimerSnapshot,
+    merge_snapshots,
+)
+from repro.obs.sinks import (
+    NULL_SINK,
+    CountingSink,
+    InMemorySink,
+    JsonlTraceSink,
+    NullSink,
+    OpaquePayload,
+    SamplingSink,
+    TraceSink,
+    event_from_dict,
+    event_to_dict,
+    payload_type_name,
+    read_jsonl,
+)
+from repro.obs.timing import Timer
+from repro.obs.report import (
+    metrics_json_payload,
+    per_phase_series,
+    render_metrics_summary,
+    write_metrics_json,
+)
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "TimerSnapshot",
+    "merge_snapshots",
+    "NULL_SINK",
+    "CountingSink",
+    "InMemorySink",
+    "JsonlTraceSink",
+    "NullSink",
+    "OpaquePayload",
+    "SamplingSink",
+    "TraceSink",
+    "event_from_dict",
+    "event_to_dict",
+    "payload_type_name",
+    "read_jsonl",
+    "Timer",
+    "metrics_json_payload",
+    "per_phase_series",
+    "render_metrics_summary",
+    "write_metrics_json",
+]

@@ -1,0 +1,371 @@
+"""Streaming structured-event sinks for simulation traces.
+
+The original kernel recorded traces by appending every event to one
+in-memory list, which is prohibitive for echo-heavy runs and useless at
+parallel fan-out scale.  A *sink* decouples recording from storage:
+
+* :class:`NullSink` — the disabled recorder.  Its ``active`` flag is
+  ``False``, so the kernel's single ``if record:`` guard skips event
+  construction entirely; ``emit`` is never called on the hot path.
+* :class:`InMemorySink` — the backward-compatible backend behind
+  ``Simulation(trace=True)``; collects events in a list.
+* :class:`JsonlTraceSink` — streams events as JSON Lines to a file, one
+  object per event, so traces of arbitrarily long runs use O(1) memory
+  and can be post-processed by anything that reads JSONL.
+* :class:`SamplingSink` — wraps another sink with every-Nth-event
+  sampling and/or per-event-type filters, making tracing affordable on
+  runs where a full trace would be gigabytes.
+* :class:`CountingSink` — test/CI instrument: counts ``emit`` calls.
+
+The JSONL codec round-trips the protocol message payloads of
+:mod:`repro.core.messages` exactly, so a written trace can be read back
+with :func:`read_jsonl` and re-validated with
+:func:`repro.sim.trace_tools.validate_trace`.  Unknown payload types
+degrade to :class:`OpaquePayload` (type name + ``repr``), which still
+satisfies the validator's send/delivery matching because equal payloads
+encode to equal opaque forms.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Any, Iterator, Optional, Sequence, Union
+
+from repro.core.messages import (
+    STAR,
+    EchoMessage,
+    FailStopMessage,
+    InitialMessage,
+    SimpleMessage,
+)
+from repro.errors import ConfigurationError
+from repro.sim.events import (
+    CrashEvent,
+    DecideEvent,
+    DeliverEvent,
+    ExitEvent,
+    PhiEvent,
+    SendEvent,
+    StartEvent,
+    TraceEvent,
+)
+
+
+class TraceSink:
+    """Base class for event sinks.
+
+    ``active`` is the kernel's single-guard flag: when ``False`` the
+    kernel does not construct events or call :meth:`emit` at all, which
+    is what keeps the disabled hot path allocation-free.
+    """
+
+    active: bool = True
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources (idempotent)."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """The disabled recorder: inactive, drops anything emitted anyway."""
+
+    active = False
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+#: Shared inactive sink; the kernel's default recording backend.
+NULL_SINK = NullSink()
+
+
+class InMemorySink(TraceSink):
+    """Collects events in a list — the ``trace=True`` backend."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+
+class CountingSink(TraceSink):
+    """Counts emitted events, optionally forwarding to an inner sink.
+
+    Used by the zero-overhead smoke test (and ``repro-consensus metrics
+    --check``) to prove the kernel never calls a sink when recording is
+    off: install a counting sink with ``active=False`` and assert the
+    count stays zero.
+    """
+
+    def __init__(
+        self, inner: Optional[TraceSink] = None, active: bool = True
+    ) -> None:
+        self.inner = inner
+        self.active = active
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self.emitted += 1
+        if self.inner is not None:
+            self.inner.emit(event)
+
+    def close(self) -> None:
+        if self.inner is not None:
+            self.inner.close()
+
+
+class SamplingSink(TraceSink):
+    """Every-Nth-event sampling and per-type filtering over an inner sink.
+
+    Args:
+        inner: the sink that stores whatever survives sampling.
+        every: keep one event out of every ``every`` that pass the type
+            filter (1 = keep all).
+        include: event classes (or their names, e.g. ``"SendEvent"``) to
+            keep; ``None`` keeps every type.
+
+    The Nth-event counter runs over *included* events only, so a filter
+    for decisions with ``every=1`` records every decision regardless of
+    how much send/deliver traffic surrounds them.
+    """
+
+    def __init__(
+        self,
+        inner: TraceSink,
+        every: int = 1,
+        include: Optional[Sequence[Union[type, str]]] = None,
+    ) -> None:
+        if every < 1:
+            raise ConfigurationError(f"every must be >= 1, got {every}")
+        self.inner = inner
+        self.every = every
+        self._seen = 0
+        self._include_names: Optional[frozenset[str]] = None
+        if include is not None:
+            self._include_names = frozenset(
+                item if isinstance(item, str) else item.__name__
+                for item in include
+            )
+
+    def emit(self, event: TraceEvent) -> None:
+        if (
+            self._include_names is not None
+            and type(event).__name__ not in self._include_names
+        ):
+            return
+        self._seen += 1
+        if (self._seen - 1) % self.every == 0:
+            self.inner.emit(event)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class JsonlTraceSink(TraceSink):
+    """Streams events to a JSON Lines file (one JSON object per event).
+
+    Accepts a path (opened/closed by the sink) or an already-open text
+    handle (flushed but not closed).  Extra constant fields — e.g.
+    ``{"seed": 7}`` — can be stamped onto every line to make multi-run
+    files self-describing.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, IO[str]],
+        extra: Optional[dict] = None,
+    ) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self._extra = dict(extra) if extra else None
+        self._closed = False
+
+    def emit(self, event: TraceEvent) -> None:
+        record = event_to_dict(event)
+        if self._extra:
+            record.update(self._extra)
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+
+# ---------------------------------------------------------------------- #
+# The JSONL codec
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class OpaquePayload:
+    """Decoded stand-in for a payload type the codec does not know.
+
+    Equality is by (type name, repr), so send/delivery matching in
+    ``validate_trace`` still works on round-tripped traces; statistics
+    keyed by payload type see ``type_name`` via ``payload_type_name``.
+    """
+
+    type_name: str
+    text: str
+
+
+def payload_type_name(payload: Any) -> str:
+    """The payload's protocol-level type name (opaque-aware)."""
+    if isinstance(payload, OpaquePayload):
+        return payload.type_name
+    return type(payload).__name__
+
+
+_EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    "start": StartEvent,
+    "deliver": DeliverEvent,
+    "phi": PhiEvent,
+    "send": SendEvent,
+    "crash": CrashEvent,
+    "decide": DecideEvent,
+    "exit": ExitEvent,
+}
+_EVENT_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
+
+_MESSAGE_TYPES = {
+    "FailStopMessage": FailStopMessage,
+    "InitialMessage": InitialMessage,
+    "EchoMessage": EchoMessage,
+    "SimpleMessage": SimpleMessage,
+}
+
+
+def _encode_phase(phase: Any) -> Any:
+    return "*" if phase is STAR else phase
+
+
+def _decode_phase(phase: Any) -> Any:
+    return STAR if phase == "*" else phase
+
+
+def encode_payload(payload: Any) -> Any:
+    """Encode a protocol payload as a JSON-safe value."""
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return {"kind": "scalar", "value": payload}
+    kind = type(payload).__name__
+    if isinstance(payload, FailStopMessage):
+        return {
+            "kind": kind,
+            "phaseno": payload.phaseno,
+            "value": payload.value,
+            "cardinality": payload.cardinality,
+        }
+    if isinstance(payload, (InitialMessage, EchoMessage)):
+        return {
+            "kind": kind,
+            "origin": payload.origin,
+            "value": payload.value,
+            "phaseno": _encode_phase(payload.phaseno),
+        }
+    if isinstance(payload, SimpleMessage):
+        return {"kind": kind, "phaseno": payload.phaseno, "value": payload.value}
+    if isinstance(payload, OpaquePayload):
+        return {
+            "kind": "opaque",
+            "type": payload.type_name,
+            "repr": payload.text,
+        }
+    return {"kind": "opaque", "type": kind, "repr": repr(payload)}
+
+
+def decode_payload(encoded: Any) -> Any:
+    """Invert :func:`encode_payload`."""
+    if not isinstance(encoded, dict) or "kind" not in encoded:
+        raise ConfigurationError(f"malformed payload record: {encoded!r}")
+    kind = encoded["kind"]
+    if kind == "scalar":
+        return encoded["value"]
+    if kind == "opaque":
+        return OpaquePayload(type_name=encoded["type"], text=encoded["repr"])
+    message_type = _MESSAGE_TYPES.get(kind)
+    if message_type is None:
+        raise ConfigurationError(f"unknown payload kind {kind!r}")
+    if message_type is FailStopMessage:
+        return FailStopMessage(
+            phaseno=encoded["phaseno"],
+            value=encoded["value"],
+            cardinality=encoded["cardinality"],
+        )
+    if message_type is SimpleMessage:
+        return SimpleMessage(phaseno=encoded["phaseno"], value=encoded["value"])
+    return message_type(
+        origin=encoded["origin"],
+        value=encoded["value"],
+        phaseno=_decode_phase(encoded["phaseno"]),
+    )
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """Encode one trace event as a JSON-safe dict."""
+    name = _EVENT_NAMES.get(type(event))
+    if name is None:
+        raise ConfigurationError(
+            f"cannot serialise unknown event type {type(event).__name__}"
+        )
+    record: dict = {"t": name, "step": event.step, "pid": event.pid}
+    if isinstance(event, DeliverEvent):
+        record["sender"] = event.sender
+        record["payload"] = encode_payload(event.payload)
+    elif isinstance(event, SendEvent):
+        record["recipient"] = event.recipient
+        record["payload"] = encode_payload(event.payload)
+    elif isinstance(event, DecideEvent):
+        record["value"] = event.value
+    return record
+
+
+def event_from_dict(record: dict) -> TraceEvent:
+    """Invert :func:`event_to_dict`."""
+    event_type = _EVENT_TYPES.get(record.get("t"))
+    if event_type is None:
+        raise ConfigurationError(f"unknown event record: {record!r}")
+    step, pid = record["step"], record["pid"]
+    if event_type is DeliverEvent:
+        return DeliverEvent(
+            step, pid, record["sender"], decode_payload(record["payload"])
+        )
+    if event_type is SendEvent:
+        return SendEvent(
+            step, pid, record["recipient"], decode_payload(record["payload"])
+        )
+    if event_type is DecideEvent:
+        return DecideEvent(step, pid, record["value"])
+    return event_type(step, pid)
+
+
+def read_jsonl(path: str) -> Iterator[TraceEvent]:
+    """Lazily parse a JSONL trace file back into events.
+
+    Yields events one by one, so arbitrarily large traces can be fed
+    straight into the (iterator-friendly) :mod:`repro.sim.trace_tools`
+    functions without materialising a list.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield event_from_dict(json.loads(line))

@@ -1,0 +1,46 @@
+"""Wall-clock profiling spans.
+
+The simulation kernel times its three hot-path stages — scheduler pick,
+protocol step, and send routing — by calling ``perf_counter`` inline and
+feeding :meth:`MetricsRegistry.time_add` directly (a context manager per
+step would dominate the measurement).  :class:`Timer` is the convenient
+form for coarser spans: wrap any block and the elapsed wall-clock time
+lands in the registry's ``timers`` section.
+
+Timer data is *profiling*, not measurement of the simulated system: it
+varies run to run and machine to machine, which is why
+``MetricsSnapshot.stable()`` strips it before determinism-sensitive
+comparisons (e.g. serial vs parallel ``run_many``).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class Timer:
+    """Context manager recording one wall-clock span into a registry.
+
+    Example::
+
+        registry = MetricsRegistry()
+        with Timer(registry, "time.analysis"):
+            expensive_analysis()
+        registry.snapshot().timers["time.analysis"].seconds
+    """
+
+    __slots__ = ("_registry", "_name", "_started")
+
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._registry.time_add(self._name, perf_counter() - self._started)

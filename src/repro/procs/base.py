@@ -50,6 +50,11 @@ class Process(ABC):
         decided_at_phase: the protocol phase during which the decision was
             made, if the protocol tracks phases (``None`` otherwise).
         decided_at_step: this process's step count when it decided.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            bound by the simulation kernel when metrics are enabled.
+            ``None`` (the default) disables protocol-level
+            instrumentation; protocol code guards every record with a
+            single ``self.metrics is not None`` check.
     """
 
     #: Subclasses representing Byzantine processes set this to False; the
@@ -65,6 +70,7 @@ class Process(ABC):
         self.steps_taken = 0
         self.decided_at_phase: Optional[int] = None
         self.decided_at_step: Optional[int] = None
+        self.metrics = None
 
     # ------------------------------------------------------------------ #
     # The two atomic-step entry points

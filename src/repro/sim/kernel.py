@@ -18,16 +18,29 @@ Determinism: all randomness flows through one ``random.Random(seed)``,
 shared with the scheduler and with any randomized process logic via the
 ``rng`` attribute, so a (processes, scheduler, seed) triple replays
 bit-identically.
+
+Observability (see :mod:`repro.obs`): the kernel can record a structured
+event stream into any :class:`~repro.obs.sinks.TraceSink` and feed a
+:class:`~repro.obs.metrics.MetricsRegistry` with per-step counters,
+histograms, and wall-clock timer spans.  Both are strictly read-only
+with respect to the execution — they never touch the RNG or alter
+scheduling — so enabling them does not change what a seed computes.
+When disabled (the default) the hot path pays only a handful of
+``is not None`` / ``active`` flag checks per step; no events or metric
+names are constructed.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional, Sequence
+from time import perf_counter
+from typing import Callable, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.net.schedulers import RandomScheduler, Scheduler
 from repro.net.system import AliveView, MessageSystem
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import NULL_SINK, InMemorySink, TraceSink
 from repro.procs.base import Process
 from repro.sim.events import (
     CrashEvent,
@@ -78,9 +91,19 @@ class Simulation:
             :class:`RandomScheduler`, which satisfies the paper's
             probabilistic message-system assumption.
         seed: seed for the run's single random source.
-        trace: record a full event trace (memory-heavy for echo protocols).
+        trace: record a full in-memory event trace.  Deprecated in
+            favour of ``sink=InMemorySink()`` (it is now sugar for
+            exactly that); prefer passing a sink, which also unlocks
+            JSONL streaming and sampling.  The :attr:`trace` tuple
+            property remains for backward compatibility.
         halt_when: halting predicate; defaults to
             :func:`all_correct_decided`.
+        metrics: ``True`` to collect metrics into a fresh
+            :class:`~repro.obs.metrics.MetricsRegistry`, or a registry
+            instance to feed one shared by several simulations.  The
+            frozen snapshot lands in ``RunResult.metrics``.
+        sink: structured-event recording backend (see
+            :mod:`repro.obs.sinks`); overrides ``trace``.
     """
 
     def __init__(
@@ -90,6 +113,8 @@ class Simulation:
         seed: Optional[int] = None,
         trace: bool = False,
         halt_when: Optional[HaltPredicate] = None,
+        metrics: Union[bool, MetricsRegistry, None] = False,
+        sink: Optional[TraceSink] = None,
     ) -> None:
         if not processes:
             raise ConfigurationError("a simulation needs at least one process")
@@ -112,8 +137,24 @@ class Simulation:
         self.rng = random.Random(seed)
         self.halt_when = halt_when if halt_when is not None else all_correct_decided
         self.steps = 0
-        self._trace_enabled = trace
-        self._trace: list[TraceEvent] = []
+        # Recording backend: an explicit sink wins; trace=True delegates
+        # to an InMemorySink; otherwise the shared inactive NullSink.
+        if sink is not None:
+            self._sink = sink
+        elif trace:
+            self._sink = InMemorySink()
+        else:
+            self._sink = NULL_SINK
+        # The single enabled check guarding all event recording.
+        self._record: bool = bool(getattr(self._sink, "active", True))
+        # Metrics registry (None = disabled; the hot path guards on it).
+        if metrics is True:
+            self.metrics: Optional[MetricsRegistry] = MetricsRegistry()
+        elif isinstance(metrics, MetricsRegistry):
+            self.metrics = metrics
+        else:
+            self.metrics = None
+        self._crash_noted: set[int] = set()
         self._started = False
         # Cached AliveView handed to the scheduler each step; rebuilt only
         # when some process's alive status actually changes.
@@ -123,6 +164,9 @@ class Simulation:
         for proc in self.processes:
             if getattr(proc, "rng", None) is None and hasattr(proc, "rng"):
                 proc.rng = self.rng
+        if self.metrics is not None:
+            for proc in self.processes:
+                self._bind_metrics(proc)
         self.scheduler.reset()
         self.scheduler.attach(self.system)
 
@@ -157,9 +201,27 @@ class Simulation:
         )
 
     @property
+    def sink(self) -> TraceSink:
+        """The structured-event sink recording this run."""
+        return self._sink
+
+    @property
     def trace(self) -> tuple[TraceEvent, ...]:
-        """The event trace recorded so far (empty unless ``trace=True``)."""
-        return tuple(self._trace)
+        """Tuple view of the recorded events.
+
+        .. deprecated:: the monolithic tuple survives for backward
+           compatibility and only works when the recording backend keeps
+           events in memory (``trace=True`` or ``sink=InMemorySink()``,
+           possibly behind a :class:`~repro.obs.sinks.SamplingSink`).
+           Streaming backends (e.g. JSONL) return ``()`` here — read the
+           file with :func:`repro.obs.sinks.read_jsonl` instead.
+        """
+        sink = self._sink
+        events = getattr(sink, "events", None)
+        if events is None:
+            inner = getattr(sink, "inner", None)
+            events = getattr(inner, "events", None)
+        return tuple(events) if events is not None else ()
 
     def max_phase(self) -> int:
         """Largest phase number reached by any correct process."""
@@ -201,8 +263,26 @@ class Simulation:
         if halt(self):
             halt_reason = HaltReason.GOAL_REACHED
             return self._build_result(halt_reason)
+        obs = self.metrics
+        record = self._record
+        sink = self._sink
         while self.steps < deadline:
-            decision = self.scheduler.choose(self.system, self._alive_view(), self.rng)
+            if obs is not None:
+                obs.observe(
+                    "scheduler.pending_messages", self.system.pending_total()
+                )
+                obs.observe(
+                    "scheduler.candidate_processes", self.system.mail_count()
+                )
+                picked_at = perf_counter()
+                decision = self.scheduler.choose(
+                    self.system, self._alive_view(), self.rng
+                )
+                obs.time_add("time.scheduler_pick", perf_counter() - picked_at)
+            else:
+                decision = self.scheduler.choose(
+                    self.system, self._alive_view(), self.rng
+                )
             if decision is None:
                 halt_reason = HaltReason.QUIESCENT
                 break
@@ -216,15 +296,31 @@ class Simulation:
             was_exited = process.exited
             if envelope is not None:
                 self.system.note_delivered(envelope)
-                if self._trace_enabled:
-                    self._trace.append(
+                if record:
+                    sink.emit(
                         DeliverEvent(
                             self.steps, pid, envelope.sender, envelope.payload
                         )
                     )
-            elif self._trace_enabled:
-                self._trace.append(PhiEvent(self.steps, pid))
-            sends = process.step(envelope)
+                if obs is not None:
+                    obs.inc(
+                        "messages.delivered."
+                        + type(envelope.payload).__name__
+                    )
+            else:
+                if record:
+                    sink.emit(PhiEvent(self.steps, pid))
+                if obs is not None:
+                    obs.inc("kernel.phi_steps")
+            if obs is not None:
+                obs.inc(
+                    f"kernel.steps.phase.{getattr(process, 'phaseno', 0)}"
+                )
+                stepped_at = perf_counter()
+                sends = process.step(envelope)
+                obs.time_add("time.protocol_step", perf_counter() - stepped_at)
+            else:
+                sends = process.step(envelope)
             process.steps_taken += 1
             self._route(pid, sends)
             self._note_transitions(process, was_decided, was_exited)
@@ -234,6 +330,11 @@ class Simulation:
             if halt(self):
                 halt_reason = HaltReason.GOAL_REACHED
                 break
+        if obs is not None:
+            obs.gauge_set("kernel.steps_total", self.steps)
+            obs.gauge_max(
+                "messages.pending_at_halt", self.system.pending_total()
+            )
         return self._build_result(halt_reason)
 
     def replace_process(self, pid: int, replacement: Process) -> None:
@@ -257,21 +358,31 @@ class Simulation:
             )
         self.processes[pid] = replacement
         self._alive_cache = None
+        if self.metrics is not None:
+            self._bind_metrics(replacement)
         if self._started and replacement.alive:
             sends = replacement.start()
             replacement.steps_taken += 1
             self._route(pid, sends)
             self.steps += 1
 
+    def _bind_metrics(self, process: Process) -> None:
+        """Point ``process`` (and any wrapped inner process) at the registry."""
+        process.metrics = self.metrics
+        inner = getattr(process, "inner", None)
+        if isinstance(inner, Process):
+            self._bind_metrics(inner)
+
     def _take_start_steps(self) -> None:
         """Run every live process's initial atomic step, in pid order."""
+        record = self._record
         for process in self.processes:
             if not process.alive:
                 continue
             was_decided = process.decided
             was_exited = process.exited
-            if self._trace_enabled:
-                self._trace.append(StartEvent(self.steps, process.pid))
+            if record:
+                self._sink.emit(StartEvent(self.steps, process.pid))
             sends = process.start()
             process.steps_taken += 1
             self._route(process.pid, sends)
@@ -281,27 +392,56 @@ class Simulation:
 
     def _route(self, sender_pid: int, sends) -> None:
         """Deliver an atomic step's sends into the message system."""
-        for send in sends:
-            self.system.send(sender_pid, send.recipient, send.payload)
-            if self._trace_enabled:
-                self._trace.append(
+        obs = self.metrics
+        if obs is not None:
+            routed_at = perf_counter()
+            for send in sends:
+                self.system.send(sender_pid, send.recipient, send.payload)
+                obs.inc("messages.sent." + type(send.payload).__name__)
+                if self._record:
+                    self._sink.emit(
+                        SendEvent(
+                            self.steps, sender_pid, send.recipient, send.payload
+                        )
+                    )
+            obs.time_add("time.routing", perf_counter() - routed_at)
+            return
+        if self._record:
+            for send in sends:
+                self.system.send(sender_pid, send.recipient, send.payload)
+                self._sink.emit(
                     SendEvent(self.steps, sender_pid, send.recipient, send.payload)
                 )
+            return
+        for send in sends:
+            self.system.send(sender_pid, send.recipient, send.payload)
 
     def _note_transitions(
         self, process: Process, was_decided: bool, was_exited: bool
     ) -> None:
-        if self._trace_enabled:
-            if not was_decided and process.decided:
-                self._trace.append(
+        record = self._record
+        obs = self.metrics
+        if not record and obs is None:
+            return
+        if not was_decided and process.decided:
+            if record:
+                self._sink.emit(
                     DecideEvent(self.steps, process.pid, process.decision.value)
                 )
-            if not was_exited and process.exited:
-                self._trace.append(ExitEvent(self.steps, process.pid))
-            if process.crashed:
-                last = self._trace[-1] if self._trace else None
-                if not isinstance(last, CrashEvent) or last.pid != process.pid:
-                    self._trace.append(CrashEvent(self.steps, process.pid))
+            if obs is not None:
+                obs.inc("decisions")
+                obs.observe("decision.latency_steps", self.steps)
+                phase = process.decided_at_phase
+                if phase is not None:
+                    obs.observe("decision.latency_phases", phase)
+        if not was_exited and process.exited and record:
+            self._sink.emit(ExitEvent(self.steps, process.pid))
+        if process.crashed and process.pid not in self._crash_noted:
+            self._crash_noted.add(process.pid)
+            if record:
+                self._sink.emit(CrashEvent(self.steps, process.pid))
+            if obs is not None:
+                obs.inc("crashes")
 
     def _build_result(self, halt_reason: HaltReason) -> RunResult:
         return RunResult(
@@ -325,4 +465,7 @@ class Simulation:
             halt_reason=halt_reason,
             seed=self.seed,
             trace=self.trace,
+            metrics=(
+                self.metrics.snapshot() if self.metrics is not None else None
+            ),
         )

@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import AgreementViolation
 from repro.sim.events import TraceEvent
+
+if TYPE_CHECKING:  # avoid a circular import at runtime (obs ← sim.events)
+    from repro.obs.metrics import MetricsSnapshot
 
 
 class HaltReason(enum.Enum):
@@ -62,6 +65,11 @@ class RunResult:
         halt_reason: why the run loop stopped.
         seed: the RNG seed, for exact replay.
         trace: the full event trace if tracing was enabled, else ().
+        metrics: frozen :class:`~repro.obs.metrics.MetricsSnapshot` when
+            the run collected metrics, else ``None``.  The snapshot's
+            counters/gauges/histograms are deterministic per seed; its
+            ``timers`` hold wall-clock profiling (use
+            ``metrics.stable()`` before cross-process comparisons).
     """
 
     n: int
@@ -78,6 +86,7 @@ class RunResult:
     halt_reason: HaltReason
     seed: Optional[int] = None
     trace: tuple[TraceEvent, ...] = field(default=())
+    metrics: Optional["MetricsSnapshot"] = None
 
     # ------------------------------------------------------------------ #
     # Derived views

@@ -15,15 +15,22 @@ questions one actually asks of a schedule:
 * :func:`decision_timeline` — (step, pid, value) of every decision.
 * :func:`lifecycle_summary` — per-process counts of sends/receives and
   final status, the "who did how much" view.
+
+Every function accepts any *iterable* of events — an in-memory trace
+tuple, a list from an :class:`~repro.obs.sinks.InMemorySink`, or the
+lazy stream of :func:`repro.obs.sinks.read_jsonl` — and consumes it in
+one pass, so arbitrarily large JSONL traces can be analysed without
+materialising them.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable
 
 from repro.errors import InvariantViolation
+from repro.obs.sinks import payload_type_name
 from repro.sim.events import (
     CrashEvent,
     DecideEvent,
@@ -46,7 +53,7 @@ class TraceAudit:
     decisions: int
 
 
-def validate_trace(trace: Sequence[TraceEvent]) -> TraceAudit:
+def validate_trace(trace: Iterable[TraceEvent]) -> TraceAudit:
     """Check a trace is a legal schedule; raise on any violation.
 
     Raises:
@@ -58,8 +65,9 @@ def validate_trace(trace: Sequence[TraceEvent]) -> TraceAudit:
     dead: set[int] = set()
     gone: set[int] = set()
     decided: set[int] = set()
-    sends = deliveries = decisions = 0
+    sends = deliveries = decisions = events = 0
     for event in trace:
+        events += 1
         if isinstance(event, SendEvent):
             if event.pid in dead:
                 raise InvariantViolation(
@@ -93,7 +101,7 @@ def validate_trace(trace: Sequence[TraceEvent]) -> TraceAudit:
         elif isinstance(event, ExitEvent):
             gone.add(event.pid)
     return TraceAudit(
-        events=len(trace),
+        events=events,
         sends=sends,
         deliveries=deliveries,
         undelivered=sum(outstanding.values()),
@@ -101,22 +109,27 @@ def validate_trace(trace: Sequence[TraceEvent]) -> TraceAudit:
     )
 
 
-def message_complexity(trace: Sequence[TraceEvent]) -> dict[str, dict[str, int]]:
-    """Sent/delivered/in-flight counts per payload type name."""
+def message_complexity(trace: Iterable[TraceEvent]) -> dict[str, dict[str, int]]:
+    """Sent/delivered/in-flight counts per payload type name.
+
+    Payloads round-tripped through JSONL as
+    :class:`~repro.obs.sinks.OpaquePayload` are grouped under their
+    original type name.
+    """
     stats: dict[str, dict[str, int]] = defaultdict(
         lambda: {"sent": 0, "delivered": 0}
     )
     for event in trace:
         if isinstance(event, SendEvent):
-            stats[type(event.payload).__name__]["sent"] += 1
+            stats[payload_type_name(event.payload)]["sent"] += 1
         elif isinstance(event, DeliverEvent):
-            stats[type(event.payload).__name__]["delivered"] += 1
+            stats[payload_type_name(event.payload)]["delivered"] += 1
     for counts in stats.values():
         counts["in_flight"] = counts["sent"] - counts["delivered"]
     return dict(stats)
 
 
-def decision_timeline(trace: Sequence[TraceEvent]) -> list[tuple[int, int, int]]:
+def decision_timeline(trace: Iterable[TraceEvent]) -> list[tuple[int, int, int]]:
     """Chronological (step, pid, value) triples of every decision."""
     return [
         (event.step, event.pid, event.value)
@@ -125,7 +138,7 @@ def decision_timeline(trace: Sequence[TraceEvent]) -> list[tuple[int, int, int]]
     ]
 
 
-def lifecycle_summary(trace: Sequence[TraceEvent]) -> dict[int, dict[str, int | str]]:
+def lifecycle_summary(trace: Iterable[TraceEvent]) -> dict[int, dict[str, int | str]]:
     """Per-process activity counts and final status."""
     summary: dict[int, dict] = defaultdict(
         lambda: {"sends": 0, "receives": 0, "status": "running"}

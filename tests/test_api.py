@@ -28,6 +28,7 @@ class TestPublicApi:
             "repro.analysis",
             "repro.lowerbounds",
             "repro.harness",
+            "repro.obs",
         ],
     )
     def test_subpackages_import_cleanly(self, module):

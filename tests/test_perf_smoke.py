@@ -31,3 +31,4 @@ def test_bench_smoke_runs_and_emits_json(tmp_path):
     for row in payload["schedulers"].values():
         assert row["steps"] > 0
     assert payload["parallel"]["aggregates_identical"] is True
+    assert payload["observability"]["steps_identical"] is True

@@ -114,3 +114,30 @@ class TestAnalytics:
             assert "decided" in summary[pid]["status"]
             assert summary[pid]["sends"] > 0
             assert summary[pid]["receives"] > 0
+
+
+class TestIteratorInputs:
+    """Every analysis function must accept a one-pass iterator.
+
+    Streamed JSONL traces are consumed lazily (``read_jsonl`` yields
+    events as it parses), so a bare generator — no ``len()``, no second
+    pass — has to produce the same answers as the materialised list.
+    """
+
+    def test_all_tools_accept_generators(self):
+        trace, _ = _traced_failstop_run(seed=3)
+        from_list = (
+            validate_trace(trace),
+            message_complexity(trace),
+            decision_timeline(trace),
+            lifecycle_summary(trace),
+        )
+        from_generators = (
+            validate_trace(e for e in trace),
+            message_complexity(e for e in trace),
+            decision_timeline(e for e in trace),
+            lifecycle_summary(e for e in trace),
+        )
+        assert from_generators == from_list
+        audit = from_generators[0]
+        assert audit.events == len(trace)
