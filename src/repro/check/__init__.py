@@ -1,0 +1,38 @@
+"""Adversarial checking: safety oracles, fault campaigns, shrinking.
+
+The package is the repo's falsification machinery (see DESIGN.md §9):
+
+* :mod:`repro.check.oracles` — online safety oracles riding the kernel's
+  per-step observer API, flagging the first violating step;
+* :mod:`repro.check.campaign` — samples :class:`~repro.faults.plans.
+  FaultPlan` spaces and fans runs out through the parallel harness,
+  aggregating per-plan verdicts;
+* :mod:`repro.check.shrink` — delta-debugs a violating run down to a
+  minimal counterexample replayable bit-identically from a JSON artifact.
+"""
+
+from repro.check.oracles import OracleSuite
+from repro.check.campaign import (
+    CampaignReport,
+    PlanVerdict,
+    run_campaign,
+    sample_plans,
+)
+from repro.check.shrink import (
+    Counterexample,
+    replay_artifact,
+    replay_plan,
+    shrink,
+)
+
+__all__ = [
+    "OracleSuite",
+    "CampaignReport",
+    "PlanVerdict",
+    "run_campaign",
+    "sample_plans",
+    "Counterexample",
+    "replay_artifact",
+    "replay_plan",
+    "shrink",
+]

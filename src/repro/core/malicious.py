@@ -95,6 +95,10 @@ class MaliciousConsensus(Process):
         self.phaseno = 0
         self.message_count = [0, 0]
         self._echo_count: dict[tuple[int, int], int] = defaultdict(int)
+        # How much of each (origin, value) count came from wildcard
+        # credits rather than same-phase echoes: the double-accept
+        # invariant's counting argument only covers the latter.
+        self._star_echo_count: dict[tuple[int, int], int] = defaultdict(int)
         self._accepted_origins: set[int] = set()
         # First-receipt bookkeeping: (sender, kind, origin, phase) tuples.
         self._seen: set[tuple] = set()
@@ -104,6 +108,11 @@ class MaliciousConsensus(Process):
         self._star_credits: set[tuple[int, int, int]] = set()
         self._accept_at = acceptance_threshold(n, k)
         self._decide_at = decision_threshold(n, k)
+        # Optional audit callback fired at every accept as
+        # ``hook(pid, phaseno, origin, value)``; the echo-quorum oracle
+        # (repro.check.oracles) sets it to cross-check each accept against
+        # the echoes actually delivered.  None means no overhead.
+        self.accept_hook = None
         # Diagnostics.
         self.forged_initials_dropped = 0
 
@@ -208,18 +217,32 @@ class MaliciousConsensus(Process):
         if credit in self._star_credits:
             return
         self._star_credits.add(credit)
-        self._apply_echo(message.origin, message.value)
+        self._apply_echo(message.origin, message.value, star=True)
         if self._phase_complete():
             self._advance_phases(sends)
 
-    def _apply_echo(self, origin: int, value: int) -> None:
+    def _apply_echo(self, origin: int, value: int, star: bool = False) -> None:
         metrics = self.metrics
         if metrics is not None:
             metrics.inc("malicious.echoes_counted")
+        if star:
+            self._star_echo_count[(origin, value)] += 1
         self._echo_count[(origin, value)] += 1
         if self._echo_count[(origin, value)] == self._accept_at:
             if origin in self._accepted_origins:
-                if self._enforce_invariants:
+                # Two same-phase echo quorums for one origin need
+                # > n+k distinct senders — impossible within the bound.
+                # Wildcard credits void that arithmetic: a lagging
+                # process can hold a regular quorum for the origin's old
+                # value plus a star quorum for the decided one, which is
+                # the Section 3.3 exit device working as intended, not
+                # equivocation.  Ignore the conflict (never double-count
+                # the origin) and only flag star-free ones.
+                star_assisted = (
+                    self._star_echo_count.get((origin, 0), 0)
+                    or self._star_echo_count.get((origin, 1), 0)
+                )
+                if self._enforce_invariants and not star_assisted:
                     raise InvariantViolation(
                         f"process {self.pid} accepted two values from "
                         f"origin {origin} in phase {self.phaseno} — "
@@ -230,6 +253,8 @@ class MaliciousConsensus(Process):
             self.message_count[value] += 1
             if metrics is not None:
                 metrics.inc("malicious.accepts")
+            if self.accept_hook is not None:
+                self.accept_hook(self.pid, self.phaseno, origin, value)
 
     def _phase_complete(self) -> bool:
         return self.message_count[0] + self.message_count[1] >= self.n - self.k
@@ -268,6 +293,7 @@ class MaliciousConsensus(Process):
             self.phaseno += 1
             self.message_count = [0, 0]
             self._echo_count = defaultdict(int)
+            self._star_echo_count = defaultdict(int)
             self._accepted_origins = set()
             if self.decided and self.exit_after_decide:
                 self._send_exit_device(sends)
@@ -312,7 +338,7 @@ class MaliciousConsensus(Process):
         completed = False
         if star_only_budget[0] > 0:
             for sender, origin, value in sorted(self._star_credits):
-                self._apply_echo(origin, value)
+                self._apply_echo(origin, value, star=True)
                 if self._phase_complete():
                     completed = True
                     star_only_budget[0] -= 1

@@ -1,4 +1,4 @@
-"""Fault injection: fail-stop crash plans and Byzantine strategies."""
+"""Fault injection: fail-stop crash plans, Byzantine strategies, fault plans."""
 
 from repro.faults.crash import CrashableProcess, crash_plan
 from repro.faults.byzantine import (
@@ -9,6 +9,14 @@ from repro.faults.byzantine import (
     AntiMajorityEchoByzantine,
     BalancingSimpleByzantine,
     EquivocatingSimpleByzantine,
+)
+from repro.faults.plans import (
+    BYZANTINE_STRATEGIES,
+    ByzantineSpec,
+    CrashSpec,
+    FaultPlan,
+    PROTOCOLS,
+    SCHEDULERS,
 )
 
 __all__ = [
@@ -21,4 +29,10 @@ __all__ = [
     "AntiMajorityEchoByzantine",
     "BalancingSimpleByzantine",
     "EquivocatingSimpleByzantine",
+    "FaultPlan",
+    "CrashSpec",
+    "ByzantineSpec",
+    "BYZANTINE_STRATEGIES",
+    "PROTOCOLS",
+    "SCHEDULERS",
 ]

@@ -15,6 +15,11 @@ Subcommands:
   ``--check`` instead runs the observability self-checks (merge
   determinism, JSONL round-trip, disabled-path silence) as a lint-style
   exit-code tool for CI.
+* ``fuzz`` — the fault-campaign fuzzer (see :mod:`repro.check`): samples
+  fault plans, runs them with safety oracles armed, shrinks any
+  violation to a replay-verified counterexample artifact.  At-bound
+  exits non-zero on any violation; ``--over-bound`` exits non-zero
+  unless at least one violation is found and shrinks cleanly.
 
 The same experiment implementations back the pytest benchmarks; the CLI
 exists so a user can regenerate any paper artifact without pytest.
@@ -27,6 +32,7 @@ import os
 import sys
 from typing import Optional, Sequence
 
+from repro.errors import SimulationLimitError
 from repro.harness.experiments import EXPERIMENTS
 from repro.obs import collector
 
@@ -65,6 +71,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             collector.begin(trace_out=args.trace_out)
         try:
             report = EXPERIMENTS[key]()
+        except SimulationLimitError as exc:
+            # Budget exhaustion is a first-class failure, not a partial
+            # success: report it and exit non-zero.
+            print(f"[{key.upper()}] step budget exhausted: {exc}")
+            status = 1
+            continue
         finally:
             snapshot, recorded = collector.finish() if observing else (None, 0)
         if args.format == "markdown":
@@ -105,6 +117,9 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     )
     from repro.harness.workloads import balanced_inputs
     from repro.sim.kernel import Simulation
+    from repro.sim.results import Outcome
+
+    status = 0
 
     print("Figure 1 (fail-stop), n=7, k=3, one mid-broadcast crash:")
     processes = build_failstop_processes(
@@ -112,6 +127,8 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     )
     result = Simulation(processes, seed=7).run()
     print(" ", result.summary())
+    if result.outcome is not Outcome.DECIDED:
+        status = 1
 
     print("Figure 2 (malicious), n=7, k=2, balancing adversaries:")
     processes = build_malicious_processes(
@@ -120,7 +137,11 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     )
     result = Simulation(processes, seed=7).run(max_steps=3_000_000)
     print(" ", result.summary())
-    return 0
+    if result.outcome is not Outcome.DECIDED:
+        status = 1
+    if status:
+        print("demo run did not decide (budget exhausted or quiescent)")
+    return status
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -306,6 +327,128 @@ def _metrics_check() -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.check import run_campaign, sample_plans, shrink
+    from repro.check.campaign import CampaignReport
+    from repro.errors import ConfigurationError
+    from repro.faults.plans import PROTOCOLS
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.report import render_metrics_summary
+
+    if args.plans < 1:
+        print(f"--plans must be >= 1, got {args.plans}")
+        return 2
+    if args.max_steps < 1:
+        print(f"--max-steps must be >= 1, got {args.max_steps}")
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}")
+        return 2
+    protocols = None
+    if args.protocols:
+        protocols = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
+        unknown = [p for p in protocols if p not in PROTOCOLS]
+        if unknown:
+            print(f"unknown protocol(s) {unknown}; choose from {list(PROTOCOLS)}")
+            return 2
+
+    metrics = MetricsRegistry()
+    deadline = (
+        time.monotonic() + args.time_budget if args.time_budget else None
+    )
+    verdicts: list = []
+    batch = 0
+    # One batch of --plans per iteration; with --time-budget we keep
+    # sampling fresh batches (distinct campaign seeds) until time is up.
+    while True:
+        plans = sample_plans(
+            args.plans,
+            campaign_seed=args.seed + batch,
+            over_bound=args.over_bound,
+            protocols=protocols,
+        )
+        report = run_campaign(
+            plans,
+            max_steps=args.max_steps,
+            workers=args.workers,
+            metrics=metrics,
+        )
+        verdicts.extend(report.verdicts)
+        batch += 1
+        if deadline is None or time.monotonic() >= deadline:
+            break
+    combined = CampaignReport(verdicts=tuple(verdicts))
+    print(combined.render())
+
+    violations = combined.violations
+    shrink_failures = 0
+    if violations and not args.no_shrink:
+        to_shrink = violations[: args.shrink_limit]
+        if len(violations) > len(to_shrink):
+            print(
+                f"shrinking first {len(to_shrink)} of {len(violations)} "
+                "violations (--shrink-limit)"
+            )
+        if args.artifacts:
+            os.makedirs(args.artifacts, exist_ok=True)
+        for index, verdict in enumerate(to_shrink):
+            try:
+                artifact = shrink(
+                    verdict.plan,
+                    schedule=verdict.schedule,
+                    max_steps=args.max_steps,
+                    metrics=metrics,
+                )
+            except ConfigurationError as exc:
+                shrink_failures += 1
+                print(
+                    f"  shrink FAILED for plan seed={verdict.plan.seed}: {exc}"
+                )
+                continue
+            print(
+                f"  shrunk {artifact.violation.oracle}@step"
+                f"{artifact.violation.step}: {artifact.schedule_len} deliveries"
+                f" ({artifact.reduction_percent:.0f}% smaller), "
+                f"{artifact.plan.fault_count} fault(s) "
+                f"[replay verified]"
+            )
+            if args.artifacts:
+                path = os.path.join(
+                    args.artifacts, f"counterexample-{index:03d}.json"
+                )
+                artifact.save(path)
+                print(f"  wrote {path}")
+
+    print()
+    print(render_metrics_summary(metrics.snapshot(), title="fuzz metrics"))
+
+    if args.over_bound:
+        if not violations:
+            print(
+                "over-bound campaign found no violations; expected the "
+                "out-of-bounds regimes to break"
+            )
+            return 1
+        if shrink_failures:
+            print(f"{shrink_failures} counterexample(s) failed to shrink/replay")
+            return 1
+        print(
+            f"over-bound campaign falsified as expected: "
+            f"{len(violations)} violation(s)"
+        )
+        return 0
+    if violations:
+        print(
+            f"{len(violations)} safety violation(s) WITHIN the resilience "
+            "bounds — this is a soundness bug"
+        )
+        return 1
+    print("no violations: every at-bound plan held agreement/validity/quorum")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (also exposed as the ``repro-consensus`` script)."""
     parser = argparse.ArgumentParser(
@@ -411,6 +554,84 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run the observability self-checks and exit non-zero on failure",
     )
     metrics_parser.set_defaults(func=_cmd_metrics)
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="fault-campaign fuzzer with safety oracles and "
+        "counterexample shrinking",
+    )
+    fuzz_parser.add_argument(
+        "--plans",
+        type=int,
+        default=500,
+        metavar="N",
+        help="fault plans per campaign batch (default: 500)",
+    )
+    fuzz_parser.add_argument(
+        "--over-bound",
+        action="store_true",
+        help="sample plans past the resilience theorems (violations "
+        "expected; exits non-zero unless at least one is found and "
+        "shrinks cleanly)",
+    )
+    fuzz_parser.add_argument(
+        "--protocols",
+        default=None,
+        metavar="P1,P2",
+        help="comma-separated at-bound protocol pool "
+        "(default: failstop,malicious,simple)",
+    )
+    fuzz_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="campaign sampling seed; same seed -> same plan list "
+        "(default: 0)",
+    )
+    fuzz_parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=20_000,
+        metavar="N",
+        help="per-plan step budget; exhaustion is a verdict, not an "
+        "error (default: 20000)",
+    )
+    fuzz_parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep running fresh campaign batches until this much wall "
+        "clock has elapsed (default: one batch)",
+    )
+    fuzz_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel plan fan-out (default: REPRO_WORKERS env var, "
+        "else serial)",
+    )
+    fuzz_parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="write shrunk counterexamples as counterexample-NNN.json "
+        "into DIR",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report violations without shrinking them",
+    )
+    fuzz_parser.add_argument(
+        "--shrink-limit",
+        type=int,
+        default=5,
+        metavar="N",
+        help="shrink at most N violations per invocation (default: 5)",
+    )
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -28,7 +28,7 @@ from repro.obs import collector
 from repro.obs.metrics import HistogramSnapshot, MetricsSnapshot, merge_snapshots
 from repro.obs.sinks import JsonlTraceSink
 from repro.procs.base import Process
-from repro.sim.kernel import HaltPredicate, Simulation
+from repro.sim.kernel import HaltPredicate, Simulation, StepObserver
 from repro.sim.results import HaltReason, RunResult
 
 #: The runner being executed by the current pool's workers.  Set (in the
@@ -79,6 +79,8 @@ def _run_seed_chunk(seeds: Sequence[int]) -> list[RunResult]:
 ProcessFactory = Callable[[int], Sequence[Process]]
 #: Builds a fresh scheduler for a given seed (schedulers keep state).
 SchedulerFactory = Callable[[int], Scheduler]
+#: Builds a fresh per-run safety observer for a given seed.
+ObserverFactory = Callable[[int], StepObserver]
 
 
 @dataclass
@@ -161,6 +163,11 @@ class ExperimentRunner:
             open :mod:`repro.obs.collector` window or the REPRO_METRICS
             env var, so ``repro-consensus run <id> --metrics`` reaches
             runners the experiment registry constructs internally.
+        observer_factory: seed → fresh per-run safety observer (e.g. an
+            :class:`~repro.check.oracles.OracleSuite`); a flagged
+            violation ends the run early and lands in
+            ``RunResult.violation`` instead of raising, so fuzz
+            campaigns aggregate it like any other outcome.
     """
 
     def __init__(
@@ -173,6 +180,7 @@ class ExperimentRunner:
         halt_when: Optional[HaltPredicate] = None,
         workers: Optional[int] = None,
         metrics: Optional[bool] = None,
+        observer_factory: Optional[ObserverFactory] = None,
     ) -> None:
         self.process_factory = process_factory
         self.scheduler_factory = scheduler_factory
@@ -182,6 +190,7 @@ class ExperimentRunner:
         self.halt_when = halt_when
         self.workers = workers
         self.metrics = metrics
+        self.observer_factory = observer_factory
 
     def _metrics_enabled(self) -> bool:
         if self.metrics is not None:
@@ -202,6 +211,9 @@ class ExperimentRunner:
                 os.path.join(trace_dir, f"trace-seed{seed}.jsonl"),
                 extra={"seed": seed},
             )
+        observer = (
+            self.observer_factory(seed) if self.observer_factory else None
+        )
         try:
             simulation = Simulation(
                 self.process_factory(seed),
@@ -210,11 +222,16 @@ class ExperimentRunner:
                 halt_when=self.halt_when,
                 metrics=self._metrics_enabled(),
                 sink=sink,
+                observer=observer,
             )
             result = simulation.run(max_steps=self.max_steps)
         finally:
             if sink is not None:
                 sink.close()
+        if result.violation is not None:
+            # An oracle deliberately ended this run; the violation *is*
+            # the result — validation/termination raising would hide it.
+            return result
         if self.validate:
             result.check_agreement()
             result.check_unanimous_validity()

@@ -179,6 +179,40 @@ class MessageBuffer:
                 return self.take_at(pos)
         return None
 
+    def take_nth_oldest_from(self, sender: int, rank: int) -> Optional[Envelope]:
+        """Remove the ``rank``-th oldest envelope from ``sender`` (0 = oldest).
+
+        Returns ``None`` when fewer than ``rank + 1`` envelopes from that
+        sender are buffered.  Replay schedules use a non-zero rank when
+        the recorded run delivered a newer envelope from a sender while
+        older ones were still buffered — a plain ``take_oldest_from``
+        would pick the wrong message there.  O(m) scan; ranks only occur
+        in recorded schedules where buffers are small.
+        """
+        if rank == 0:
+            return self.take_oldest_from(sender)
+        matches = sorted(
+            (env.seq, i)
+            for i, env in enumerate(self._items)
+            if env.sender == sender
+        )
+        if rank >= len(matches):
+            return None
+        _seq, pos = matches[rank]
+        return self.take_at(pos)
+
+    def count_older_from(self, sender: int, seq: int) -> int:
+        """Count buffered envelopes from ``sender`` with seq below ``seq``.
+
+        Called by :class:`~repro.net.schedulers.ScheduleRecorder` right
+        after a delivery removes an envelope: the count is exactly the
+        ``rank`` that :meth:`take_nth_oldest_from` needs to re-pick the
+        same envelope on replay.
+        """
+        return sum(
+            1 for env in self._items if env.sender == sender and env.seq < seq
+        )
+
     def index_of(self, envelope: Envelope) -> Optional[int]:
         """Current index of ``envelope`` (by identity), or None if absent.
 

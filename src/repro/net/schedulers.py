@@ -554,23 +554,33 @@ class FilteredRandomScheduler(Scheduler):
 class ScriptedScheduler(Scheduler):
     """Replays an explicit delivery script; for exact adversarial schedules.
 
-    The script is a sequence of ``(recipient, sender)`` pairs: at each
-    step the scheduler delivers to ``recipient`` the oldest buffered
-    envelope from ``sender``.  When the script is exhausted (or the next
-    scripted delivery is impossible) the fallback scheduler takes over —
-    or, with ``strict=True`` and no fallback, the run goes quiescent.
+    The script is a sequence of entries in either form:
+
+    * ``(recipient, sender)`` — deliver to ``recipient`` the oldest
+      buffered envelope from ``sender``;
+    * ``(recipient, sender, rank)`` — deliver the ``rank``-th oldest
+      instead (0 = oldest), which is what recorded schedules from
+      :class:`ScheduleRecorder` use when the original run delivered
+      out of FIFO order;
+    * ``(recipient, None)`` or ``(recipient, None, 0)`` — a φ step by
+      ``recipient`` (its receive returns no message).
+
+    When the script is exhausted (or the next scripted delivery is
+    impossible) the fallback scheduler takes over — or, with no
+    fallback, the run goes quiescent.
 
     This is the tool for writing the paper's proof schedules as code:
     the Theorem 1 splice σ = σ₀·σ₁ and the equivocation attack on the
-    echo-less variant are both expressed as scripts in the test suite.
-    Each scripted lookup uses the buffer's per-sender index
-    (:meth:`~repro.net.buffer.MessageBuffer.take_oldest_from`), so it is
-    O(log m) instead of a full buffer scan.
+    echo-less variant are both expressed as scripts in the test suite,
+    and the fuzzer's shrunk counterexamples replay through it
+    bit-identically.  Each rank-0 lookup uses the buffer's per-sender
+    index (:meth:`~repro.net.buffer.MessageBuffer.take_oldest_from`), so
+    it is O(log m) instead of a full buffer scan.
     """
 
     def __init__(
         self,
-        script: Sequence[tuple[int, int]],
+        script: Sequence[tuple],
         fallback: Scheduler | None = None,
     ) -> None:
         self.script = list(script)
@@ -596,17 +606,71 @@ class ScriptedScheduler(Scheduler):
     ) -> Decision:
         alive_set = _alive_set(alive)
         while self._position < len(self.script):
-            recipient, sender = self.script[self._position]
+            entry = self.script[self._position]
             self._position += 1
+            if len(entry) == 3:
+                recipient, sender, rank = entry
+            else:
+                recipient, sender = entry
+                rank = 0
             if recipient not in alive_set:
                 continue
-            envelope = system._buffers[recipient].take_oldest_from(sender)
+            if sender is None:
+                return recipient, None
+            envelope = system._buffers[recipient].take_nth_oldest_from(
+                sender, rank
+            )
             if envelope is None:
                 continue
             return recipient, envelope
         if self.fallback is not None:
             return self.fallback.choose(system, alive, rng)
         return None
+
+
+class ScheduleRecorder(Scheduler):
+    """Wraps a scheduler and records every decision for exact replay.
+
+    Each decision of the inner scheduler is appended to :attr:`recorded`
+    as a ``(recipient, sender, rank)`` triple — ``sender is None`` for a
+    φ step; otherwise ``rank`` counts how many *older* envelopes from
+    the same transport sender were still buffered when this one was
+    delivered.  Feeding :attr:`recorded` to a :class:`ScriptedScheduler`
+    re-delivers exactly the same envelopes in the same order, so the
+    replayed run is bit-identical for any protocol whose steps are a
+    deterministic function of its deliveries.
+
+    The kernel surfaces :attr:`recorded` as ``RunResult.schedule`` when
+    the run's scheduler carries one, which is how the fuzzer captures a
+    violating run's schedule for shrinking.
+    """
+
+    def __init__(self, inner: Scheduler) -> None:
+        self.inner = inner
+        self.recorded: list[tuple[int, Optional[int], int]] = []
+
+    def reset(self) -> None:
+        self.recorded = []
+        self.inner.reset()
+
+    def attach(self, system: MessageSystem) -> None:
+        self.inner.attach(system)
+
+    def choose(
+        self, system: MessageSystem, alive: Iterable[int], rng: random.Random
+    ) -> Decision:
+        decision = self.inner.choose(system, alive, rng)
+        if decision is None:
+            return None
+        pid, envelope = decision
+        if envelope is None:
+            self.recorded.append((pid, None, 0))
+        else:
+            rank = system._buffers[pid].count_older_from(
+                envelope.sender, envelope.seq
+            )
+            self.recorded.append((pid, envelope.sender, rank))
+        return decision
 
 
 def _value_class(payload) -> int:

@@ -45,6 +45,12 @@ DEFAULT_BOUNDS: tuple[float, ...] = (
     1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
 )
 
+#: Percentage-scale bounds for ratio histograms (e.g. the fuzz
+#: shrinker's size-reduction percentages in [0, 100]).
+PERCENT_BOUNDS: tuple[float, ...] = (
+    0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100,
+)
+
 
 @dataclass(frozen=True)
 class HistogramSnapshot:

@@ -36,7 +36,7 @@ import random
 from time import perf_counter
 from typing import Callable, Optional, Sequence, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InvariantViolation
 from repro.net.schedulers import RandomScheduler, Scheduler
 from repro.net.system import AliveView, MessageSystem
 from repro.obs.metrics import MetricsRegistry
@@ -52,10 +52,53 @@ from repro.sim.events import (
     StartEvent,
     TraceEvent,
 )
-from repro.sim.results import HaltReason, RunResult
+from repro.sim.results import HaltReason, RunResult, Violation
 
 #: Halting predicate signature: inspects the simulation, returns True to stop.
 HaltPredicate = Callable[["Simulation"], bool]
+
+
+class StepObserver:
+    """Per-step safety observer protocol (see :mod:`repro.check.oracles`).
+
+    An observer rides along with a run: the kernel calls
+    :meth:`on_step` after every atomic step (start steps included) and
+    halts with :attr:`HaltReason.ORACLE_VIOLATION` as soon as
+    :attr:`violation` becomes non-None.  Like metrics and sinks, an
+    observer must be read-only with respect to the execution — it never
+    touches the RNG or scheduling — and when detached the kernel pays a
+    single ``is not None`` check per step.
+    """
+
+    #: First violation found, or None.  The kernel polls this each step.
+    violation: Optional[Violation] = None
+
+    def attach(self, sim: "Simulation") -> None:
+        """Bind to a simulation before its first step."""
+
+    def on_step(self, sim, pid, envelope, sends) -> None:
+        """Called after pid's atomic step; envelope is None for φ/start."""
+
+    def note_invariant_exception(
+        self, sim, pid, exc: InvariantViolation
+    ) -> None:
+        """An in-protocol invariant raised during pid's step.
+
+        With no observer attached such exceptions propagate (existing
+        behaviour); with one attached the kernel records them as a
+        violation so a fuzz campaign can keep going and shrink the run.
+        A *faulty* process tripping over its own bookkeeping (e.g. an
+        equivocator's decision register) is just more faulty behaviour,
+        not a system safety violation, so it is swallowed.
+        """
+        if not sim.processes[pid].is_correct:
+            return
+        self.violation = Violation(
+            oracle="invariant",
+            step=sim.steps,
+            pid=pid,
+            description=f"{type(exc).__name__}: {exc}",
+        )
 
 
 def all_correct_decided(sim: "Simulation") -> bool:
@@ -104,6 +147,11 @@ class Simulation:
             frozen snapshot lands in ``RunResult.metrics``.
         sink: structured-event recording backend (see
             :mod:`repro.obs.sinks`); overrides ``trace``.
+        observer: optional :class:`StepObserver` (e.g. an oracle suite
+            from :mod:`repro.check.oracles`) notified after every atomic
+            step; a non-None ``observer.violation`` halts the run with
+            :attr:`HaltReason.ORACLE_VIOLATION` and lands in
+            ``RunResult.violation``.
     """
 
     def __init__(
@@ -115,6 +163,7 @@ class Simulation:
         halt_when: Optional[HaltPredicate] = None,
         metrics: Union[bool, MetricsRegistry, None] = False,
         sink: Optional[TraceSink] = None,
+        observer: Optional[StepObserver] = None,
     ) -> None:
         if not processes:
             raise ConfigurationError("a simulation needs at least one process")
@@ -169,6 +218,9 @@ class Simulation:
                 self._bind_metrics(proc)
         self.scheduler.reset()
         self.scheduler.attach(self.system)
+        self.observer = observer
+        if observer is not None:
+            observer.attach(self)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -260,6 +312,9 @@ class Simulation:
         if not self._started:
             self._take_start_steps()
             self._started = True
+        observer = self.observer
+        if observer is not None and observer.violation is not None:
+            return self._build_result(HaltReason.ORACLE_VIOLATION)
         if halt(self):
             halt_reason = HaltReason.GOAL_REACHED
             return self._build_result(halt_reason)
@@ -317,15 +372,27 @@ class Simulation:
                     f"kernel.steps.phase.{getattr(process, 'phaseno', 0)}"
                 )
                 stepped_at = perf_counter()
+            if observer is None:
                 sends = process.step(envelope)
-                obs.time_add("time.protocol_step", perf_counter() - stepped_at)
             else:
-                sends = process.step(envelope)
+                try:
+                    sends = process.step(envelope)
+                except InvariantViolation as exc:
+                    observer.note_invariant_exception(self, pid, exc)
+                    sends = ()
+            if obs is not None:
+                obs.time_add("time.protocol_step", perf_counter() - stepped_at)
             process.steps_taken += 1
             self._route(pid, sends)
             self._note_transitions(process, was_decided, was_exited)
             if not process.alive:
                 self._alive_cache = None
+            if observer is not None:
+                observer.on_step(self, pid, envelope, sends)
+                if observer.violation is not None:
+                    self.steps += 1
+                    halt_reason = HaltReason.ORACLE_VIOLATION
+                    break
             self.steps += 1
             if halt(self):
                 halt_reason = HaltReason.GOAL_REACHED
@@ -376,6 +443,7 @@ class Simulation:
     def _take_start_steps(self) -> None:
         """Run every live process's initial atomic step, in pid order."""
         record = self._record
+        observer = self.observer
         for process in self.processes:
             if not process.alive:
                 continue
@@ -383,11 +451,22 @@ class Simulation:
             was_exited = process.exited
             if record:
                 self._sink.emit(StartEvent(self.steps, process.pid))
-            sends = process.start()
+            if observer is None:
+                sends = process.start()
+            else:
+                try:
+                    sends = process.start()
+                except InvariantViolation as exc:
+                    observer.note_invariant_exception(self, process.pid, exc)
+                    sends = ()
             process.steps_taken += 1
             self._route(process.pid, sends)
             self._note_transitions(process, was_decided, was_exited)
+            if observer is not None:
+                observer.on_step(self, process.pid, None, sends)
             self.steps += 1
+            if observer is not None and observer.violation is not None:
+                break
         self._alive_cache = None
 
     def _route(self, sender_pid: int, sends) -> None:
@@ -444,6 +523,7 @@ class Simulation:
                 obs.inc("crashes")
 
     def _build_result(self, halt_reason: HaltReason) -> RunResult:
+        recorded = getattr(self.scheduler, "recorded", None)
         return RunResult(
             n=self.n,
             decisions=tuple(proc.decision.get() for proc in self.processes),
@@ -468,4 +548,8 @@ class Simulation:
             metrics=(
                 self.metrics.snapshot() if self.metrics is not None else None
             ),
+            violation=(
+                self.observer.violation if self.observer is not None else None
+            ),
+            schedule=tuple(recorded) if recorded is not None else None,
         )

@@ -39,6 +39,68 @@ class HaltReason(enum.Enum):
     QUIESCENT = "quiescent"
     #: The step budget ran out first.
     MAX_STEPS = "max_steps"
+    #: An attached safety oracle flagged a violation and stopped the run.
+    ORACLE_VIOLATION = "oracle_violation"
+
+
+class Outcome(enum.Enum):
+    """First-class classification of how a run ended.
+
+    ``HaltReason`` records the mechanical reason the loop stopped;
+    ``Outcome`` is the judgement callers actually branch on: did the run
+    succeed (every surviving correct process decided), stall
+    (quiescent/undecided), exhaust its step budget, or trip a safety
+    oracle.  The CLI exits non-zero for ``BUDGET_EXHAUSTED`` instead of
+    presenting a partial run as a success.
+    """
+
+    #: Every surviving correct process decided.
+    DECIDED = "decided"
+    #: The run stopped with undecided correct processes but messages
+    #: exhausted (or a custom goal reached early) — no budget involved.
+    QUIESCENT = "quiescent"
+    #: The step budget ran out with undecided correct processes.
+    BUDGET_EXHAUSTED = "budget_exhausted"
+    #: A safety oracle flagged a violating step.
+    VIOLATION = "violation"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """The first safety-oracle violation observed in a run.
+
+    Attributes:
+        oracle: name of the oracle that flagged (``agreement``,
+            ``validity``, ``revocation``, ``echo_quorum``, or
+            ``invariant`` for an in-protocol invariant exception that an
+            attached oracle suite captured).
+        step: global kernel step index at which the violation surfaced.
+        pid: process whose step exposed the violation (None if unknown).
+        description: human-readable account of what went wrong.
+    """
+
+    oracle: str
+    step: int
+    pid: Optional[int]
+    description: str
+
+    def to_dict(self) -> dict:
+        """JSON-ready form."""
+        return {
+            "oracle": self.oracle,
+            "step": self.step,
+            "pid": self.pid,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Violation":
+        return cls(
+            oracle=payload["oracle"],
+            step=payload["step"],
+            pid=payload["pid"],
+            description=payload["description"],
+        )
 
 
 @dataclass(frozen=True)
@@ -70,6 +132,11 @@ class RunResult:
             counters/gauges/histograms are deterministic per seed; its
             ``timers`` hold wall-clock profiling (use
             ``metrics.stable()`` before cross-process comparisons).
+        violation: the first safety-oracle violation, when an observer
+            was attached and flagged one; ``None`` otherwise.
+        schedule: the recorded delivery schedule ``(pid, sender, skip)``
+            tuples when the run's scheduler captured one (see
+            :class:`~repro.net.schedulers.ScheduleRecorder`), else None.
     """
 
     n: int
@@ -87,6 +154,8 @@ class RunResult:
     seed: Optional[int] = None
     trace: tuple[TraceEvent, ...] = field(default=())
     metrics: Optional["MetricsSnapshot"] = None
+    violation: Optional[Violation] = None
+    schedule: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -132,6 +201,17 @@ class RunResult:
             return next(iter(self.decided_values))
         return None
 
+    @property
+    def outcome(self) -> Outcome:
+        """Classify the run: violation > decided > budget > quiescent."""
+        if self.violation is not None:
+            return Outcome.VIOLATION
+        if self.all_correct_decided:
+            return Outcome.DECIDED
+        if self.halt_reason is HaltReason.MAX_STEPS:
+            return Outcome.BUDGET_EXHAUSTED
+        return Outcome.QUIESCENT
+
     def phases_to_decide(self) -> list[int]:
         """Decision phases of correct processes (for performance plots)."""
         return [
@@ -176,10 +256,16 @@ class RunResult:
         phase_part = (
             f"phases {min(phases)}..{max(phases)}" if phases else "no decisions"
         )
+        violation_part = (
+            f" VIOLATION[{self.violation.oracle}@{self.violation.step}]"
+            if self.violation is not None
+            else ""
+        )
         return (
             f"n={self.n} decided={sum(d is not None for d in self.decisions)} "
             f"value={self.consensus_value} {phase_part} steps={self.steps} "
-            f"halt={self.halt_reason.value}"
+            f"halt={self.halt_reason.value} outcome={self.outcome.value}"
+            f"{violation_part}"
         )
 
 

@@ -1,0 +1,108 @@
+"""Tests for the fault-campaign engine (repro.check.campaign)."""
+
+import pytest
+
+from repro.check.campaign import run_campaign, sample_plans
+from repro.check.shrink import replay_plan
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.results import Outcome
+
+
+class TestSampling:
+    def test_sampling_is_deterministic(self):
+        first = sample_plans(25, campaign_seed=5)
+        second = sample_plans(25, campaign_seed=5)
+        assert first == second
+        assert first != sample_plans(25, campaign_seed=6)
+
+    def test_sampled_seeds_are_unique(self):
+        plans = sample_plans(200, campaign_seed=1)
+        assert len({plan.seed for plan in plans}) == len(plans)
+
+    def test_at_bound_plans_respect_the_theorems(self):
+        for plan in sample_plans(100, campaign_seed=2):
+            assert not plan.over_bound, plan.describe()
+
+    def test_over_bound_plans_exceed_the_theorems(self):
+        for plan in sample_plans(100, campaign_seed=2, over_bound=True):
+            assert plan.over_bound, plan.describe()
+
+    def test_protocol_pool_is_honoured(self):
+        plans = sample_plans(40, campaign_seed=3, protocols=("failstop",))
+        assert {plan.protocol for plan in plans} == {"failstop"}
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            sample_plans(0)
+
+
+class TestCampaign:
+    def test_at_bound_campaign_is_violation_free(self):
+        plans = sample_plans(40, campaign_seed=7)
+        report = run_campaign(plans, max_steps=20_000)
+        assert report.plans == 40
+        assert report.violations == ()
+
+    def test_over_bound_campaign_finds_violations_with_schedules(self):
+        plans = sample_plans(40, campaign_seed=7, over_bound=True)
+        report = run_campaign(plans, max_steps=20_000)
+        assert len(report.violations) >= 1
+        for verdict in report.violations:
+            assert verdict.outcome is Outcome.VIOLATION
+            # the recorded schedule is the shrinker's raw material
+            assert verdict.schedule
+
+    def test_duplicate_seeds_rejected(self):
+        plans = sample_plans(2, campaign_seed=1)
+        clone = [plans[0], plans[0]]
+        with pytest.raises(ConfigurationError):
+            run_campaign(clone)
+
+    def test_metrics_are_fed(self):
+        metrics = MetricsRegistry()
+        plans = sample_plans(10, campaign_seed=9)
+        report = run_campaign(plans, max_steps=20_000, metrics=metrics)
+        snapshot = metrics.snapshot()
+        assert snapshot.counters["fuzz.plans"] == 10
+        total_outcomes = sum(
+            count for name, count in snapshot.counters.items()
+            if name.startswith("fuzz.outcome.")
+        )
+        assert total_outcomes == report.plans
+
+    def test_render_mentions_every_violation(self):
+        plans = sample_plans(40, campaign_seed=7, over_bound=True)
+        report = run_campaign(plans, max_steps=20_000)
+        text = report.render()
+        assert f"campaign: {report.plans} plans" in text
+        assert text.count("VIOLATION") == len(report.violations)
+
+
+class TestOutcomes:
+    def test_budget_exhaustion_is_first_class(self):
+        plan = sample_plans(1, campaign_seed=11)[0]
+        starved = replay_plan(plan, max_steps=plan.n + 2)
+        assert starved.outcome is Outcome.BUDGET_EXHAUSTED
+
+    def test_truncated_script_goes_quiescent(self):
+        plan = sample_plans(1, campaign_seed=11)[0]
+        recorded = replay_plan(plan, record=True, max_steps=50_000)
+        assert recorded.outcome is Outcome.DECIDED
+        starved = replay_plan(
+            plan, schedule=recorded.schedule[:2], max_steps=50_000
+        )
+        assert starved.outcome is Outcome.QUIESCENT
+
+
+class TestRecordReplay:
+    def test_recorded_schedule_replays_to_identical_run(self):
+        # any deterministic at-bound plan will do; record then replay
+        plan = sample_plans(1, campaign_seed=11)[0]
+        recorded = replay_plan(plan, record=True, max_steps=50_000)
+        replayed = replay_plan(
+            plan, schedule=recorded.schedule, max_steps=50_000
+        )
+        assert replayed.steps == recorded.steps
+        assert replayed.consensus_value == recorded.consensus_value
+        assert replayed.violation == recorded.violation

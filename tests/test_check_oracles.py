@@ -1,0 +1,158 @@
+"""Tests for the online safety oracles (repro.check.oracles)."""
+
+import pytest
+
+from repro.check.oracles import ALL_ORACLES, OracleSuite
+from repro.errors import ConfigurationError
+from repro.faults.byzantine import BalancingEchoByzantine
+from repro.harness.builders import (
+    build_failstop_processes,
+    build_malicious_processes,
+)
+from repro.harness.workloads import balanced_inputs, unanimous_inputs
+from repro.procs.base import Process
+from repro.sim.kernel import Simulation
+from repro.sim.results import HaltReason, Outcome
+
+
+class _MutableRegister:
+    """A broken, revocable decision register (the bug class the
+    revocation oracle exists to catch — the real register is write-once)."""
+
+    def __init__(self):
+        self.value = None
+
+    @property
+    def is_set(self):
+        return self.value is not None
+
+    def get(self):
+        return self.value
+
+
+class _ScriptedDecider(Process):
+    """Stub process that decides a fixed value at a fixed local step."""
+
+    def __init__(self, pid, n, decide_value, decide_at=1, revoke_to=None,
+                 input_value=1):
+        super().__init__(pid, n)
+        self.decision = _MutableRegister()
+        self.input_value = input_value
+        self._decide_value = decide_value
+        self._decide_at = decide_at
+        self._revoke_to = revoke_to
+        self._local_steps = 0
+
+    def start(self):
+        # Seed enough traffic that the scheduler keeps every stub
+        # stepping past its scripted decision point.
+        sends = []
+        for round_no in range(8):
+            sends.extend(self._broadcast(("tick", round_no)))
+        return sends
+
+    def step(self, envelope):
+        self._local_steps += 1
+        if self._local_steps == self._decide_at:
+            self.decision.value = self._decide_value
+        elif self._revoke_to is not None and self._local_steps > self._decide_at:
+            self.decision.value = self._revoke_to
+        return []
+
+
+def _run_stubs(processes, max_steps=60):
+    suite = OracleSuite()
+    result = Simulation(processes, seed=1, observer=suite).run(
+        max_steps=max_steps
+    )
+    return result, suite
+
+
+class TestConfig:
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OracleSuite(oracles=("agreement", "psychic"))
+
+    def test_all_oracles_named(self):
+        assert set(ALL_ORACLES) == {
+            "agreement", "validity", "revocation", "echo_quorum"
+        }
+
+
+class TestSilentAtBound:
+    def test_failstop_with_crashes_stays_silent(self):
+        processes = build_failstop_processes(
+            7, 3, balanced_inputs(7),
+            crashes={0: {"crash_at_step": 3, "keep_sends": 2}},
+        )
+        result, suite = _run_stubs(processes, max_steps=200_000)
+        assert result.violation is None
+        assert suite.violation is None
+        assert result.outcome is Outcome.DECIDED
+
+    def test_malicious_with_adversaries_stays_silent_and_audits(self):
+        processes = build_malicious_processes(
+            7, 2, balanced_inputs(7),
+            byzantine={5: BalancingEchoByzantine, 6: BalancingEchoByzantine},
+        )
+        result, suite = _run_stubs(processes, max_steps=3_000_000)
+        assert result.violation is None
+        assert result.outcome is Outcome.DECIDED
+        # every correct accept went through the echo-quorum audit
+        assert suite.accepts_audited > 0
+
+
+class TestDetection:
+    def test_agreement_violation_flagged_at_first_divergence(self):
+        # mixed inputs keep the validity oracle out of the way
+        processes = [
+            _ScriptedDecider(0, 3, decide_value=0, input_value=0),
+            _ScriptedDecider(1, 3, decide_value=0, input_value=0),
+            _ScriptedDecider(2, 3, decide_value=1, decide_at=5),
+        ]
+        result, _ = _run_stubs(processes)
+        assert result.violation is not None
+        assert result.violation.oracle == "agreement"
+        assert result.violation.pid == 2
+        assert result.halt_reason is HaltReason.ORACLE_VIOLATION
+        assert result.outcome is Outcome.VIOLATION
+
+    def test_validity_violation_on_unanimous_inputs(self):
+        # all inputs are 1 (set in the stub), one process decides 0
+        processes = [
+            _ScriptedDecider(pid, 3, decide_value=(0 if pid == 1 else 1))
+            for pid in range(3)
+        ]
+        result, _ = _run_stubs(processes)
+        assert result.violation is not None
+        assert result.violation.oracle == "validity"
+        assert result.violation.pid == 1
+
+    def test_revocation_violation_on_flipped_decision(self):
+        processes = [
+            _ScriptedDecider(0, 2, decide_value=1, revoke_to=0),
+            _ScriptedDecider(1, 2, decide_value=1),
+        ]
+        result, _ = _run_stubs(processes)
+        assert result.violation is not None
+        assert result.violation.oracle == "revocation"
+        assert result.violation.pid == 0
+
+    def test_echo_quorum_fires_on_threshold_cheat(self):
+        processes = build_malicious_processes(4, 0, unanimous_inputs(4, 1))
+        suite = OracleSuite()
+        simulation = Simulation(processes, seed=3, observer=suite)
+        # Sabotage one process AFTER the oracle recorded the sound
+        # threshold: it now accepts from a single echo, which the audit
+        # must catch as an unbacked quorum.
+        simulation.processes[0]._accept_at = 1
+        result = simulation.run(max_steps=10_000)
+        assert result.violation is not None
+        assert result.violation.oracle == "echo_quorum"
+        assert result.violation.pid == 0
+
+    def test_detached_runs_report_no_violation(self):
+        processes = build_malicious_processes(4, 1, balanced_inputs(4))
+        result = Simulation(processes, seed=3).run(max_steps=200_000)
+        assert result.violation is None
+        assert result.outcome is Outcome.DECIDED

@@ -43,3 +43,28 @@ class TestCli:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "Figure 1" in out and "Figure 2" in out
+
+
+class TestFuzzCli:
+    def test_at_bound_smoke_is_clean(self, capsys):
+        assert main(["fuzz", "--plans", "25", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 25 plans" in out
+        assert "no violations" in out
+
+    def test_over_bound_smoke_finds_and_shrinks(self, capsys, tmp_path):
+        artifacts = str(tmp_path / "artifacts")
+        assert main([
+            "fuzz", "--plans", "25", "--seed", "1", "--over-bound",
+            "--artifacts", artifacts, "--shrink-limit", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+        assert "replay verified" in out
+        import os
+        saved = sorted(os.listdir(artifacts))
+        assert saved and saved[0].startswith("counterexample-")
+
+    def test_bad_protocol_pool_rejected(self, capsys):
+        assert main(["fuzz", "--plans", "5", "--protocols", "paxos"]) == 2
+        assert "unknown protocol" in capsys.readouterr().out

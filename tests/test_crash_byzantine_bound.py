@@ -1,0 +1,62 @@
+"""Mid-broadcast crashes combined with every Byzantine strategy at the
+exact Figure 2 bound k = ⌊(n−1)/3⌋, with the safety oracles armed.
+
+The paper's Theorem 4 claim is that ANY combination of up to k faults —
+and a crash is just a degenerate malicious fault — leaves the protocol
+consistent.  These tests drive the hardest shape of that claim the
+fault layer can express: one process dying halfway through a broadcast
+(some recipients got the message, some never will) while a live
+adversary of each registered strategy attacks the same run, and assert
+the oracles stay silent and every correct process still decides."""
+
+import pytest
+
+from repro.check.shrink import replay_plan
+from repro.faults.plans import (
+    BYZANTINE_STRATEGIES,
+    ByzantineSpec,
+    CrashSpec,
+    FaultPlan,
+)
+from repro.sim.results import Outcome
+
+#: n = 7 puts the malicious bound at exactly k = ⌊(7−1)/3⌋ = 2: one
+#: mid-broadcast crash plus one live adversary saturates it.
+N, K = 7, 2
+
+ECHO_STRATEGIES = sorted(
+    name
+    for name, (protocols, _) in BYZANTINE_STRATEGIES.items()
+    if "malicious" in protocols
+)
+
+
+def _plan(strategy: str, seed: int) -> FaultPlan:
+    return FaultPlan(
+        protocol="malicious",
+        n=N,
+        k=K,
+        inputs=tuple(pid % 2 for pid in range(N)),
+        # keep_sends strictly between 0 and n: the crash interrupts the
+        # broadcast so only some recipients ever see the message.
+        crashes=(CrashSpec(pid=0, crash_at_step=2, keep_sends=3),),
+        byzantine=(ByzantineSpec(pid=N - 1, strategy=strategy),),
+        seed=seed,
+    )
+
+
+class TestSaturatedBound:
+    def test_bound_is_exact(self):
+        plan = _plan("silent", seed=0)
+        assert plan.k == (plan.n - 1) // 3
+        assert plan.fault_count == plan.k
+        assert not plan.over_bound
+
+    @pytest.mark.parametrize("strategy", ECHO_STRATEGIES)
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_oracles_stay_silent(self, strategy, seed):
+        result = replay_plan(_plan(strategy, seed), max_steps=300_000)
+        assert result.violation is None, result.violation
+        assert result.outcome is Outcome.DECIDED
+        assert result.all_correct_decided
+        assert result.agreement_holds

@@ -1,10 +1,11 @@
-"""Tests for the experiment registry (quick-scaled runs of E1–E10)."""
+"""Tests for the experiment registry (quick-scaled runs of E1–E11)."""
 
 import pytest
 
 from repro.harness.experiments import (
     EXPERIMENTS,
     e1_failstop_protocol,
+    e11_overbound_violations,
     e3_markov_failstop,
     e4_markov_malicious,
     e5_failstop_lowerbound,
@@ -13,8 +14,8 @@ from repro.harness.experiments import (
 
 
 class TestRegistry:
-    def test_all_ten_registered(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 11)}
+    def test_all_eleven_registered(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 12)}
 
     def test_registry_values_are_callables_with_docs(self):
         for key, fn in EXPERIMENTS.items():
@@ -64,3 +65,19 @@ class TestReportsRender:
     def test_render_includes_notes(self):
         report = e5_failstop_lowerbound(n=6)
         assert "note:" in report.render()
+
+    def test_e11_quick(self):
+        report = e11_overbound_violations(runs=12)
+        text = report.render()
+        assert "[E11]" in text
+        by_label = {}
+        for row in report.rows:
+            by_label.setdefault(row[0], []).append(row)
+        for label, rows in by_label.items():
+            for row in rows:
+                violations, replay = row[4], row[7]
+                if "at-bound" in label:
+                    assert violations == 0, (label, violations)
+                else:
+                    assert violations >= 1, (label, violations)
+                    assert replay == "exact"

@@ -1,0 +1,134 @@
+"""Tests for fault-plan declaration, validation, and construction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.crash import CrashableProcess
+from repro.faults.plans import (
+    BYZANTINE_STRATEGIES,
+    ByzantineSpec,
+    CrashSpec,
+    FaultPlan,
+    PROTOCOLS,
+    SCHEDULERS,
+)
+from repro.net.schedulers import ScheduleRecorder
+
+
+def _plan(**overrides):
+    base = dict(
+        protocol="malicious",
+        n=7,
+        k=2,
+        inputs=tuple(pid % 2 for pid in range(7)),
+    )
+    base.update(overrides)
+    return FaultPlan(**base)
+
+
+class TestValidation:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _plan(protocol="paxos")
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _plan(scheduler="clairvoyant")
+
+    def test_input_length_must_match_n(self):
+        with pytest.raises(ConfigurationError):
+            _plan(inputs=(0, 1))
+
+    def test_fault_pids_must_be_disjoint(self):
+        with pytest.raises(ConfigurationError):
+            _plan(
+                crashes=(CrashSpec(pid=3, crash_at_step=1),),
+                byzantine=(ByzantineSpec(pid=3, strategy="silent"),),
+            )
+
+    def test_fault_pids_must_be_in_range(self):
+        with pytest.raises(ConfigurationError):
+            _plan(crashes=(CrashSpec(pid=7, crash_at_step=1),))
+
+    def test_failstop_refuses_byzantine(self):
+        with pytest.raises(ConfigurationError):
+            _plan(
+                protocol="failstop",
+                byzantine=(ByzantineSpec(pid=1, strategy="silent"),),
+            )
+
+    def test_strategy_protocol_compatibility(self):
+        with pytest.raises(ConfigurationError):
+            _plan(byzantine=(ByzantineSpec(pid=1, strategy="equivocating_simple"),))
+
+    def test_registries_are_nonempty(self):
+        assert set(PROTOCOLS) == {"failstop", "malicious", "simple", "naive"}
+        assert "random" in SCHEDULERS
+        assert "silent" in BYZANTINE_STRATEGIES
+
+
+class TestOverBoundClassification:
+    def test_at_bound_plans_are_not_over_bound(self):
+        assert not _plan(k=2).over_bound  # ⌊(7−1)/3⌋ = 2
+        assert not _plan(protocol="failstop", k=3).over_bound  # ⌊(7−1)/2⌋
+
+    def test_excessive_k_is_over_bound(self):
+        assert _plan(k=3).over_bound
+        assert _plan(protocol="failstop", k=4).over_bound
+
+    def test_naive_always_over_bound(self):
+        assert _plan(protocol="naive", k=1).over_bound
+
+    def test_simple_with_byzantine_is_over_bound(self):
+        quiet = _plan(protocol="simple", k=1)
+        attacked = _plan(
+            protocol="simple",
+            k=1,
+            byzantine=(ByzantineSpec(pid=1, strategy="equivocating_simple"),),
+        )
+        assert not quiet.over_bound
+        assert attacked.over_bound
+
+    def test_more_faults_than_k_is_over_bound(self):
+        plan = _plan(
+            k=1,
+            crashes=(CrashSpec(pid=0, crash_at_step=1),),
+            byzantine=(ByzantineSpec(pid=1, strategy="silent"),),
+        )
+        assert plan.fault_count == 2
+        assert plan.over_bound
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        plan = _plan(
+            crashes=(CrashSpec(pid=0, crash_at_step=3, keep_sends=2),),
+            byzantine=(ByzantineSpec(pid=6, strategy="balancing_echo"),),
+            scheduler="fifo",
+            seed=99,
+            exit_after_decide=True,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_describe_mentions_the_regime(self):
+        text = _plan(k=3).describe()
+        assert "malicious" in text
+        assert "over-bound" in text
+
+
+class TestConstruction:
+    def test_build_processes_applies_faults(self):
+        plan = _plan(
+            crashes=(CrashSpec(pid=0, crash_at_step=3, keep_sends=2),),
+            byzantine=(ByzantineSpec(pid=6, strategy="balancing_echo"),),
+        )
+        processes = plan.build_processes()
+        assert len(processes) == plan.n
+        assert isinstance(processes[0], CrashableProcess)
+        assert not processes[6].is_correct
+        assert all(processes[pid].is_correct for pid in range(1, 6))
+
+    def test_build_scheduler_can_record(self):
+        plan = _plan()
+        assert isinstance(plan.build_scheduler(record=True), ScheduleRecorder)
+        assert not isinstance(plan.build_scheduler(), ScheduleRecorder)
