@@ -21,7 +21,11 @@ The package implements, from scratch:
   constructions and a bounded exhaustive schedule explorer for Lemma 2
   (:mod:`repro.lowerbounds`);
 * an experiment harness regenerating every quantitative claim of the
-  paper (:mod:`repro.harness`, driven by ``benchmarks/``).
+  paper (:mod:`repro.harness`, driven by ``benchmarks/``);
+* a networked runtime executing the same protocol state machines over
+  real loopback TCP — authenticated go-back-n transport, chaos proxy,
+  live safety oracles (:mod:`repro.cluster`, kept import-light and
+  therefore not re-exported here).
 
 Quickstart::
 

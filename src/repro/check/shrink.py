@@ -21,6 +21,7 @@ repo, attached to a bug report, and replayed exactly, forever.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -114,7 +115,12 @@ class Counterexample:
         )
 
     def save(self, path: str) -> None:
-        """Write the artifact to ``path`` as deterministic JSON."""
+        """Write the artifact to ``path`` as deterministic JSON.
+
+        Parent directories are created so nested artifact paths work.
+        """
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")

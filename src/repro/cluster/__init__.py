@@ -1,0 +1,84 @@
+"""``repro.cluster`` — an asyncio networked runtime for the paper's protocols.
+
+The discrete-event simulator (:mod:`repro.sim`) and this package are two
+*backends over one protocol implementation*: both drive the unchanged
+atomic-step state machines of :mod:`repro.core` — the cluster adapts the
+receive→compute→send step onto an asyncio event loop and real
+length-prefixed TCP connections instead of a scheduler and an in-memory
+message buffer.
+
+The paper's message-system model (Section 2.1/3.1) asks for exactly what
+a TCP connection mesh provides once a thin reliability layer is added:
+messages are delivered reliably but arbitrarily slowly, and correct
+processes can verify the identity of the sender of each message.  The
+pieces:
+
+* :mod:`repro.cluster.codec` — versioned, length-prefixed wire framing
+  with an exact round-trip for every protocol payload.
+* :mod:`repro.cluster.transport` — per-peer outbound queues, reconnect
+  with capped exponential backoff + jitter, ack-based retransmission
+  (reliable delivery over lossy links), and transport-level sender
+  authentication via a peer-id handshake.
+* :mod:`repro.cluster.node` — the node actor: one
+  :class:`~repro.procs.base.Process` driven by the event loop, with a
+  ``decide()`` client API and graceful shutdown.
+* :mod:`repro.cluster.chaos` — a frame-aware TCP chaos proxy injecting
+  delay/drop/partition/reset schedules, the live-network analogue of the
+  simulator's adversarial schedulers.
+* :mod:`repro.cluster.driver` — launches an n-node loopback cluster,
+  attaches :mod:`repro.obs` metrics and JSONL trace sinks, checks the
+  agreement/validity oracles over the collected decision records, and
+  emits ``BENCH_cluster.json``.
+"""
+
+from repro.cluster.codec import (
+    WIRE_ENCODING,
+    WIRE_VERSION,
+    AckFrame,
+    ByeFrame,
+    CodecError,
+    DataFrame,
+    FrameReader,
+    HelloFrame,
+    decode_envelope,
+    decode_frame_bytes,
+    encode_envelope,
+    encode_frame,
+)
+from repro.cluster.chaos import ChaosConfig, ChaosProxy
+from repro.cluster.driver import (
+    ClusterReport,
+    ClusterSpec,
+    check_decision_records,
+    run_cluster,
+    run_cluster_bench,
+    run_cluster_sync,
+)
+from repro.cluster.node import ClusterNode, DecisionRecord
+from repro.cluster.transport import Transport
+
+__all__ = [
+    "AckFrame",
+    "ByeFrame",
+    "ChaosConfig",
+    "ChaosProxy",
+    "ClusterNode",
+    "ClusterReport",
+    "ClusterSpec",
+    "CodecError",
+    "DataFrame",
+    "DecisionRecord",
+    "FrameReader",
+    "HelloFrame",
+    "Transport",
+    "WIRE_ENCODING",
+    "WIRE_VERSION",
+    "check_decision_records",
+    "decode_envelope",
+    "decode_frame_bytes",
+    "encode_envelope",
+    "encode_frame",
+    "run_cluster",
+    "run_cluster_bench",
+    "run_cluster_sync",
+]

@@ -1,0 +1,287 @@
+"""Wire codec: versioned length-prefixed frames for the cluster runtime.
+
+Frame layout (big-endian)::
+
+    +-------+---------+------+----------+------------------+
+    | magic | version | kind | body len | body (len bytes) |
+    |  2 B  |   1 B   | 1 B  |   4 B    |                  |
+    +-------+---------+------+----------+------------------+
+
+The magic/version pair is checked on every frame, so a peer speaking a
+different wire revision is rejected at the first frame rather than
+producing garbled protocol state.  The *kind* byte names the frame type
+without decoding the body — which is what lets the chaos proxy apply
+drop/delay policies to data frames while passing handshakes and acks
+through untouched.
+
+Bodies are serialised with msgpack when available and JSON otherwise
+(:data:`WIRE_ENCODING` names the active choice; the handshake carries it
+so mismatched peers fail loudly).  Envelope payloads reuse the exact
+JSONL payload codec of :mod:`repro.obs.sinks` — the same encoder that
+round-trips every protocol message type for traces — so the wire format
+and the trace format can never drift apart.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Iterator, Union
+
+from repro.errors import ReproError
+from repro.net.message import Envelope
+from repro.obs.sinks import decode_payload, encode_payload
+
+try:  # pragma: no cover - exercised only where msgpack is installed
+    import msgpack  # type: ignore
+
+    def _dumps(obj: Any) -> bytes:
+        return msgpack.packb(obj, use_bin_type=True)
+
+    def _loads(data: bytes) -> Any:
+        return msgpack.unpackb(data, raw=False)
+
+    WIRE_ENCODING = "msgpack"
+except ImportError:
+    import json
+
+    def _dumps(obj: Any) -> bytes:
+        return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode(
+            "utf-8"
+        )
+
+    def _loads(data: bytes) -> Any:
+        return json.loads(data.decode("utf-8"))
+
+    WIRE_ENCODING = "json"
+
+#: Wire protocol magic bytes ("Resilient Consensus").
+MAGIC = b"RC"
+#: Wire protocol revision; bumped on any incompatible frame/body change.
+WIRE_VERSION = 1
+#: Upper bound on one frame's body — far above any protocol message, so
+#: hitting it means a corrupt or hostile length prefix, not a big payload.
+MAX_BODY = 1 << 20
+
+_HEADER = struct.Struct(">2sBBI")
+HEADER_SIZE = _HEADER.size
+
+#: Frame kind bytes.
+KIND_HELLO = 1
+KIND_DATA = 2
+KIND_ACK = 3
+KIND_BYE = 4
+
+
+class CodecError(ReproError):
+    """A frame failed to parse: bad magic, version mismatch, truncation,
+    an oversized length prefix, or a malformed body."""
+
+
+@dataclass(frozen=True, slots=True)
+class HelloFrame:
+    """Handshake: the dialing peer introduces itself.
+
+    ``pid`` is the transport-level identity every later data frame on
+    this connection is attributed to (Section 3.1's sender
+    authentication); ``n`` and ``encoding`` let the acceptor reject
+    peers from a differently-shaped or differently-serialised cluster.
+    """
+
+    pid: int
+    n: int
+    encoding: str = WIRE_ENCODING
+
+
+@dataclass(frozen=True, slots=True)
+class DataFrame:
+    """One protocol envelope in flight, tagged with a per-link sequence.
+
+    ``link_seq`` numbers the frames of one directed peer link 0, 1, 2…
+    and drives the receiver's cumulative-ack/dedup reliability layer —
+    it is transport state, distinct from the envelope's global ``seq``.
+    """
+
+    link_seq: int
+    envelope: Envelope
+
+
+@dataclass(frozen=True, slots=True)
+class AckFrame:
+    """Cumulative acknowledgement: every link_seq ≤ ``acked`` arrived."""
+
+    acked: int
+
+
+@dataclass(frozen=True, slots=True)
+class ByeFrame:
+    """Graceful close: the peer is done sending."""
+
+
+Frame = Union[HelloFrame, DataFrame, AckFrame, ByeFrame]
+
+
+# ---------------------------------------------------------------------- #
+# Envelope body codec
+# ---------------------------------------------------------------------- #
+
+
+def encode_envelope(envelope: Envelope) -> dict:
+    """JSON/msgpack-safe dict form of one transport envelope."""
+    return {
+        "sender": envelope.sender,
+        "recipient": envelope.recipient,
+        "seq": envelope.seq,
+        "payload": encode_payload(envelope.payload),
+    }
+
+
+def decode_envelope(record: Any) -> Envelope:
+    """Invert :func:`encode_envelope`."""
+    if not isinstance(record, dict):
+        raise CodecError(f"malformed envelope record: {record!r}")
+    try:
+        return Envelope(
+            sender=record["sender"],
+            recipient=record["recipient"],
+            payload=decode_payload(record["payload"]),
+            seq=record["seq"],
+        )
+    except (KeyError, ReproError) as exc:
+        raise CodecError(f"malformed envelope record: {record!r}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# Frame codec
+# ---------------------------------------------------------------------- #
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise one frame, header included."""
+    if isinstance(frame, HelloFrame):
+        kind = KIND_HELLO
+        body: Any = {"pid": frame.pid, "n": frame.n, "enc": frame.encoding}
+    elif isinstance(frame, DataFrame):
+        kind = KIND_DATA
+        body = {"ls": frame.link_seq, "env": encode_envelope(frame.envelope)}
+    elif isinstance(frame, AckFrame):
+        kind = KIND_ACK
+        body = {"acked": frame.acked}
+    elif isinstance(frame, ByeFrame):
+        kind = KIND_BYE
+        body = {}
+    else:
+        raise CodecError(f"cannot encode frame of type {type(frame).__name__}")
+    encoded = _dumps(body)
+    if len(encoded) > MAX_BODY:
+        raise CodecError(f"frame body of {len(encoded)} bytes exceeds MAX_BODY")
+    return _HEADER.pack(MAGIC, WIRE_VERSION, kind, len(encoded)) + encoded
+
+
+def _decode_body(kind: int, body: bytes) -> Frame:
+    try:
+        record = _loads(body)
+    except Exception as exc:
+        raise CodecError(f"undecodable frame body: {body[:64]!r}") from exc
+    if not isinstance(record, dict):
+        raise CodecError(f"frame body is not a mapping: {record!r}")
+    try:
+        if kind == KIND_HELLO:
+            return HelloFrame(
+                pid=record["pid"], n=record["n"], encoding=record["enc"]
+            )
+        if kind == KIND_DATA:
+            return DataFrame(
+                link_seq=record["ls"], envelope=decode_envelope(record["env"])
+            )
+        if kind == KIND_ACK:
+            return AckFrame(acked=record["acked"])
+        if kind == KIND_BYE:
+            return ByeFrame()
+    except KeyError as exc:
+        raise CodecError(f"frame body missing field {exc}") from exc
+    raise CodecError(f"unknown frame kind {kind}")
+
+
+def frame_kind(data: bytes) -> int:
+    """The kind byte of an already-validated header (chaos proxy helper)."""
+    return data[3]
+
+
+class FrameReader:
+    """Incremental frame parser over a byte stream.
+
+    Feed arbitrary chunks with :meth:`feed`; completed frames come out of
+    :meth:`frames`.  Header validation (magic, version, body size) happens
+    as soon as a header is complete, so a bad peer is rejected before its
+    body is even buffered.  :meth:`finish` flags truncation: end-of-stream
+    in the middle of a frame raises :class:`CodecError`.
+    """
+
+    def __init__(self, raw: bool = False) -> None:
+        self._buffer = bytearray()
+        #: raw mode yields (kind, frame_bytes) without decoding bodies —
+        #: the chaos proxy forwards frames it never needs to understand.
+        self._raw = raw
+
+    def feed(self, data: bytes) -> None:
+        """Append received bytes."""
+        self._buffer.extend(data)
+
+    def _check_header(self) -> int:
+        """Validate the buffered header; return the full frame length."""
+        magic, version, kind, length = _HEADER.unpack_from(self._buffer)
+        if magic != MAGIC:
+            raise CodecError(f"bad frame magic {bytes(magic)!r}")
+        if version != WIRE_VERSION:
+            raise CodecError(
+                f"wire version mismatch: peer speaks v{version}, "
+                f"this node speaks v{WIRE_VERSION}"
+            )
+        if length > MAX_BODY:
+            raise CodecError(
+                f"frame body length {length} exceeds MAX_BODY ({MAX_BODY})"
+            )
+        if kind not in (KIND_HELLO, KIND_DATA, KIND_ACK, KIND_BYE):
+            raise CodecError(f"unknown frame kind {kind}")
+        return HEADER_SIZE + length
+
+    def frames(self) -> Iterator:
+        """Yield every complete frame currently buffered."""
+        while len(self._buffer) >= HEADER_SIZE:
+            total = self._check_header()
+            if len(self._buffer) < total:
+                return
+            raw = bytes(self._buffer[:total])
+            del self._buffer[:total]
+            if self._raw:
+                yield frame_kind(raw), raw
+            else:
+                yield _decode_body(raw[3], raw[HEADER_SIZE:])
+
+    def finish(self) -> None:
+        """Assert end-of-stream cleanliness; raises on a partial frame."""
+        if self._buffer:
+            raise CodecError(
+                f"truncated frame: stream ended with {len(self._buffer)} "
+                "buffered bytes"
+            )
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet parsed into a complete frame."""
+        return len(self._buffer)
+
+
+def decode_frame_bytes(data: bytes) -> list[Frame]:
+    """Strict one-shot decode: parse ``data`` as whole frames.
+
+    Raises :class:`CodecError` on any malformation, including trailing
+    partial frames — the property tests use this to assert truncation is
+    always detected.
+    """
+    reader = FrameReader()
+    reader.feed(data)
+    frames = list(reader.frames())
+    reader.finish()
+    return frames

@@ -1,0 +1,494 @@
+"""Cluster driver: launch, observe, and judge an n-node loopback cluster.
+
+The driver is the cluster analogue of :class:`repro.sim.kernel.Simulation`
+plus :class:`repro.harness.runner.ExperimentRunner`: it assembles the same
+process ensembles (via :mod:`repro.harness.builders`, so the protocol
+cores are shared byte-for-byte with the simulator), wires each process to
+a :class:`~repro.cluster.transport.Transport` — optionally behind a
+:class:`~repro.cluster.chaos.ChaosProxy` — waits for the correct nodes to
+decide, and then runs the agreement/validity oracles over the collected
+:class:`~repro.cluster.node.DecisionRecord` list.
+
+``run_cluster_bench`` repeats clusters across configurations and emits
+the ``BENCH_cluster.json`` payload (decisions/sec and p50/p99 decide
+latency per n).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+from dataclasses import dataclass, replace
+from time import monotonic
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.cluster.chaos import ChaosConfig, ChaosProxy
+from repro.cluster.codec import WIRE_ENCODING
+from repro.cluster.node import ClusterNode, DecisionRecord
+from repro.cluster.trace import ClusterTraceWriter
+from repro.cluster.transport import Transport
+from repro.errors import ConfigurationError
+from repro.faults.byzantine import (
+    AntiMajorityEchoByzantine,
+    BalancingEchoByzantine,
+    EquivocatingEchoByzantine,
+    SilentByzantine,
+)
+from repro.harness.builders import (
+    build_failstop_processes,
+    build_malicious_processes,
+)
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.procs.base import Process
+
+#: Byzantine behaviours selectable by name on the CLI.  Factories follow
+#: the builders' ``(pid, n, k, input_value)`` signature.
+BYZANTINE_KINDS = {
+    "balancing": BalancingEchoByzantine,
+    "equivocating": EquivocatingEchoByzantine,
+    "anti-majority": AntiMajorityEchoByzantine,
+    "silent": lambda pid, n, k, value: SilentByzantine(pid, n, value),
+}
+
+#: Protocols the cluster runtime can serve.
+CLUSTER_PROTOCOLS = ("failstop", "malicious")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One cluster configuration.
+
+    Attributes:
+        n, k: protocol parameters (validated by the protocol cores).
+        protocol: ``"failstop"`` (Figure 1) or ``"malicious"`` (Figure 2).
+        inputs: per-process initial values; ``None`` means unanimous 1s
+            (so the validity oracle has bite).
+        byzantine_count: number of live Byzantine nodes (malicious
+            protocol only), substituted at the highest pids.
+        byzantine_kind: behaviour name from :data:`BYZANTINE_KINDS`.
+        crashes: pid → :class:`~repro.faults.crash.CrashableProcess`
+            kwargs, as in the builders.
+        chaos: chaos-proxy schedule applied in front of every node
+            (``None`` or an inactive config = clean network).
+        seed: base seed; per-node transport jitter and per-proxy chaos
+            RNGs are derived from it.
+        exit_after_decide: enable the §3.3 exit device (malicious only).
+    """
+
+    n: int
+    k: int
+    protocol: str = "malicious"
+    inputs: Union[Sequence[int], str, None] = None
+    byzantine_count: int = 0
+    byzantine_kind: str = "balancing"
+    crashes: Optional[Mapping[int, dict]] = None
+    chaos: Optional[ChaosConfig] = None
+    seed: int = 0
+    exit_after_decide: bool = False
+
+    def __post_init__(self) -> None:
+        if self.protocol not in CLUSTER_PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown cluster protocol {self.protocol!r}; "
+                f"choose from {list(CLUSTER_PROTOCOLS)}"
+            )
+        if self.byzantine_count and self.protocol != "malicious":
+            raise ConfigurationError(
+                "Byzantine nodes require the malicious protocol"
+            )
+        if self.byzantine_kind not in BYZANTINE_KINDS:
+            raise ConfigurationError(
+                f"unknown Byzantine kind {self.byzantine_kind!r}; "
+                f"choose from {sorted(BYZANTINE_KINDS)}"
+            )
+        if self.byzantine_count < 0 or self.byzantine_count > self.n:
+            raise ConfigurationError(
+                f"byzantine_count {self.byzantine_count} out of range"
+            )
+
+    @property
+    def effective_inputs(self) -> list[int]:
+        """The resolved per-process input values."""
+        if self.inputs is None:
+            return [1] * self.n
+        if isinstance(self.inputs, str):
+            return [int(ch) for ch in self.inputs]
+        return list(self.inputs)
+
+    @property
+    def byzantine_pids(self) -> tuple[int, ...]:
+        """Pids running the Byzantine behaviour (highest ids)."""
+        return tuple(range(self.n - self.byzantine_count, self.n))
+
+
+def build_processes(spec: ClusterSpec) -> list[Process]:
+    """The spec's process ensemble — the same objects the simulator runs."""
+    inputs = spec.effective_inputs
+    crashes = dict(spec.crashes) if spec.crashes else None
+    if spec.protocol == "failstop":
+        return build_failstop_processes(
+            spec.n, spec.k, inputs, crashes=crashes
+        )
+    factory = BYZANTINE_KINDS[spec.byzantine_kind]
+    byzantine = {pid: factory for pid in spec.byzantine_pids}
+    return build_malicious_processes(
+        spec.n,
+        spec.k,
+        inputs,
+        byzantine=byzantine,
+        crashes=crashes,
+        exit_after_decide=spec.exit_after_decide,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Decision-record oracles
+# ---------------------------------------------------------------------- #
+
+
+def check_decision_records(
+    records: Sequence[DecisionRecord],
+    correct_pids: frozenset[int],
+    inputs: Sequence[int],
+    surviving_pids: Optional[frozenset[int]] = None,
+) -> list[str]:
+    """Agreement/validity/termination over a cluster's decision records.
+
+    Mirrors :meth:`repro.sim.results.RunResult.check_agreement` and
+    ``check_unanimous_validity``, restated over live decision records.
+    Returns a list of human-readable problems (empty = all oracles pass).
+
+    Args:
+        records: every decision the cluster observed (Byzantine nodes'
+            records are ignored — their ``is_correct`` flag is False).
+        correct_pids: pids of non-Byzantine processes.
+        inputs: the initial values, indexed by pid.
+        surviving_pids: correct pids that did not crash; defaults to all
+            correct pids.  Termination is demanded only of survivors.
+    """
+    problems: list[str] = []
+    survivors = surviving_pids if surviving_pids is not None else correct_pids
+    correct_records = [
+        record for record in records
+        if record.is_correct and record.pid in correct_pids
+    ]
+    by_value: dict[int, list[int]] = {}
+    for record in correct_records:
+        by_value.setdefault(record.value, []).append(record.pid)
+    if len(by_value) > 1:
+        detail = ", ".join(
+            f"value {value} by {sorted(pids)}"
+            for value, pids in sorted(by_value.items())
+        )
+        problems.append(f"agreement violated: {detail}")
+    correct_inputs = {inputs[pid] for pid in correct_pids}
+    if len(correct_inputs) == 1 and correct_records:
+        unanimous = next(iter(correct_inputs))
+        for record in correct_records:
+            if record.value != unanimous:
+                problems.append(
+                    f"validity violated: process {record.pid} decided "
+                    f"{record.value} although every correct process "
+                    f"started with {unanimous}"
+                )
+    decided_pids = {record.pid for record in correct_records}
+    missing = sorted(survivors - decided_pids)
+    if missing:
+        problems.append(
+            f"termination incomplete: surviving correct processes "
+            f"{missing} did not decide"
+        )
+    return problems
+
+
+# ---------------------------------------------------------------------- #
+# Driving one cluster
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Everything one cluster run produced.
+
+    ``problems`` is the oracle verdict: an empty tuple means agreement,
+    validity, and termination all held over the decision records.
+    """
+
+    spec: ClusterSpec
+    records: tuple[DecisionRecord, ...]
+    problems: tuple[str, ...]
+    wall_seconds: float
+    timed_out: bool
+    metrics: Optional[MetricsSnapshot] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every oracle passed and nothing timed out."""
+        return not self.problems and not self.timed_out
+
+    def correct_latencies(self) -> list[float]:
+        """Decide latencies (seconds) of the correct nodes, sorted."""
+        return sorted(
+            record.latency for record in self.records if record.is_correct
+        )
+
+    def decisions_per_sec(self) -> float:
+        """Correct decisions per wall-clock second of the run."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        count = sum(1 for record in self.records if record.is_correct)
+        return count / self.wall_seconds
+
+    def consensus_value(self) -> Optional[int]:
+        """The agreed value (None if no correct node decided)."""
+        for record in self.records:
+            if record.is_correct:
+                return record.value
+        return None
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"q must be in [0, 1], got {q}")
+    rank = max(1, math.ceil(q * len(sorted_values) - 1e-9))
+    index = min(len(sorted_values) - 1, rank - 1)
+    return sorted_values[index]
+
+
+async def run_cluster(
+    spec: ClusterSpec,
+    timeout: float = 60.0,
+    registry: Optional[MetricsRegistry] = None,
+    trace_dir: Optional[str] = None,
+) -> ClusterReport:
+    """Run one loopback cluster to (attempted) consensus.
+
+    Every node gets its own server socket; when the spec carries an
+    active chaos config, a :class:`ChaosProxy` fronts each node and all
+    peer traffic dials the proxy.  The run ends when every surviving
+    correct node has decided, or after ``timeout`` wall-clock seconds.
+    """
+    processes = build_processes(spec)
+    if registry is None:
+        registry = MetricsRegistry()
+    writers: dict[int, Optional[ClusterTraceWriter]] = {}
+    transports: list[Transport] = []
+    proxies: list[ChaosProxy] = []
+    nodes: list[ClusterNode] = []
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+    chaos_active = spec.chaos is not None and spec.chaos.active
+    try:
+        dial_addrs: dict[int, tuple] = {}
+        for pid in range(spec.n):
+            writer = None
+            if trace_dir is not None:
+                writer = ClusterTraceWriter(
+                    os.path.join(trace_dir, f"node-{pid}.jsonl"),
+                    extra={"node": pid},
+                )
+            writers[pid] = writer
+            transport = Transport(
+                pid,
+                spec.n,
+                registry=registry,
+                trace=writer,
+                seed=spec.seed * 1_000_003 + pid,
+            )
+            transports.append(transport)
+            addr = await transport.serve()
+            if chaos_active:
+                proxy = ChaosProxy(
+                    addr,
+                    replace(spec.chaos, seed=spec.chaos.seed + 7919 * pid),
+                    registry=registry,
+                    trace=writer,
+                    label=pid,
+                )
+                proxies.append(proxy)
+                dial_addrs[pid] = await proxy.serve()
+            else:
+                dial_addrs[pid] = addr
+        for pid, transport in enumerate(transports):
+            transport.connect(dial_addrs)
+            nodes.append(
+                ClusterNode(
+                    processes[pid],
+                    transport,
+                    registry=registry,
+                    trace=writers[pid],
+                )
+            )
+        started = monotonic()
+        for node in nodes:
+            await node.start()
+        deadline = started + timeout
+        timed_out = False
+        while True:
+            pending = [
+                node
+                for node in nodes
+                if node.process.is_correct
+                and not node.process.crashed
+                and node.decision_record is None
+            ]
+            if not pending:
+                break
+            if monotonic() >= deadline:
+                timed_out = True
+                break
+            await asyncio.sleep(0.02)
+        wall = monotonic() - started
+        records = tuple(
+            node.decision_record
+            for node in nodes
+            if node.decision_record is not None
+        )
+        correct_pids = frozenset(
+            proc.pid for proc in processes if proc.is_correct
+        )
+        surviving = frozenset(
+            proc.pid
+            for proc in processes
+            if proc.is_correct and not proc.crashed
+        )
+        problems = tuple(
+            check_decision_records(
+                records, correct_pids, spec.effective_inputs, surviving
+            )
+        )
+        return ClusterReport(
+            spec=spec,
+            records=records,
+            problems=problems,
+            wall_seconds=wall,
+            timed_out=timed_out,
+            metrics=registry.snapshot(),
+        )
+    finally:
+        for node in nodes:
+            await node.shutdown()
+        # Transports without nodes (early failure) still need closing.
+        for transport in transports[len(nodes):]:
+            await transport.close()
+        for proxy in proxies:
+            await proxy.close()
+        for writer in writers.values():
+            if writer is not None:
+                writer.close()
+
+
+def run_cluster_sync(
+    spec: ClusterSpec,
+    timeout: float = 60.0,
+    registry: Optional[MetricsRegistry] = None,
+    trace_dir: Optional[str] = None,
+) -> ClusterReport:
+    """Blocking wrapper around :func:`run_cluster`."""
+    return asyncio.run(
+        run_cluster(
+            spec, timeout=timeout, registry=registry, trace_dir=trace_dir
+        )
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Benchmarking
+# ---------------------------------------------------------------------- #
+
+
+async def run_cluster_bench(
+    specs: Sequence[ClusterSpec],
+    rounds: int = 1,
+    timeout: float = 60.0,
+    registry: Optional[MetricsRegistry] = None,
+    trace_dir: Optional[str] = None,
+) -> dict:
+    """Run each spec ``rounds`` times; return the BENCH_cluster payload.
+
+    The payload's ``series`` holds one entry per spec with decisions/sec
+    and decide-latency percentiles, so plotting latency-vs-n is a single
+    pass over the file.
+    """
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    series: list[dict] = []
+    all_ok = True
+    for spec in specs:
+        latencies: list[float] = []
+        decisions = 0
+        wall = 0.0
+        problems: list[str] = []
+        timed_out = False
+        for round_index in range(rounds):
+            round_spec = replace(spec, seed=spec.seed + round_index)
+            round_dir = (
+                os.path.join(
+                    trace_dir, f"n{spec.n}-round{round_index}"
+                )
+                if trace_dir is not None
+                else None
+            )
+            report = await run_cluster(
+                round_spec,
+                timeout=timeout,
+                registry=registry,
+                trace_dir=round_dir,
+            )
+            latencies.extend(report.correct_latencies())
+            decisions += sum(
+                1 for record in report.records if record.is_correct
+            )
+            wall += report.wall_seconds
+            problems.extend(report.problems)
+            timed_out = timed_out or report.timed_out
+        latencies.sort()
+        all_ok = all_ok and not problems and not timed_out
+        series.append(
+            {
+                "n": spec.n,
+                "k": spec.k,
+                "protocol": spec.protocol,
+                "byzantine": spec.byzantine_count,
+                "byzantine_kind": (
+                    spec.byzantine_kind if spec.byzantine_count else None
+                ),
+                "chaos": bool(spec.chaos is not None and spec.chaos.active),
+                "rounds": rounds,
+                "decisions": decisions,
+                "timed_out": timed_out,
+                "problems": problems,
+                "wall_seconds": wall,
+                "decisions_per_sec": decisions / wall if wall > 0 else 0.0,
+                "decide_latency_ms": {
+                    "p50": percentile(latencies, 0.50) * 1000.0,
+                    "p99": percentile(latencies, 0.99) * 1000.0,
+                    "mean": (
+                        sum(latencies) / len(latencies) * 1000.0
+                        if latencies
+                        else 0.0
+                    ),
+                    "max": latencies[-1] * 1000.0 if latencies else 0.0,
+                },
+            }
+        )
+    return {
+        "benchmark": "cluster",
+        "wire_encoding": WIRE_ENCODING,
+        "ok": all_ok,
+        "series": series,
+    }
+
+
+def write_bench_report(payload: dict, path: str) -> None:
+    """Write the BENCH_cluster payload, creating parent directories."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

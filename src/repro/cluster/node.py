@@ -1,0 +1,217 @@
+"""The node actor: one protocol state machine on the event loop.
+
+A :class:`ClusterNode` adapts the paper's atomic step — receive one
+message, compute, send a finite set of messages — onto asyncio.  The
+wrapped :class:`~repro.procs.base.Process` is the *same object* the
+simulator would drive: the node calls ``start()``/``step()`` and routes
+the returned sends, nothing more, so the protocol cores are reused
+byte-for-byte by both backends.
+
+Atomicity holds by construction: a single consumer task performs each
+step synchronously between two awaits, so no other coroutine observes a
+half-stepped process.  Sends to self skip the network and loop straight
+back into the inbound queue (the simulator's buffer does the same);
+remote sends go to the transport, which stamps this node's authenticated
+identity.
+
+``decide()`` is the client API: it resolves with the decided value the
+moment the process writes its decision register, annotated with
+wall-clock latency measured from the node's start.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from time import monotonic
+from typing import Any, Optional
+
+from repro.cluster.transport import Transport
+from repro.errors import ConfigurationError
+from repro.net.message import Envelope
+from repro.obs.metrics import MetricsRegistry
+from repro.procs.base import Process
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One node's decision, as observed by the cluster runtime.
+
+    Attributes:
+        pid: the deciding node.
+        value: the decided value.
+        phase: the protocol phase at decision time (None if untracked).
+        latency: seconds from the node's start step to the decision.
+        steps: atomic steps the process had taken when it decided.
+        is_correct: whether the deciding process is a correct one
+            (Byzantine nodes' "decisions" are excluded from the oracles).
+    """
+
+    pid: int
+    value: int
+    phase: Optional[int]
+    latency: float
+    steps: int
+    is_correct: bool
+
+    def to_dict(self) -> dict:
+        """JSON-ready form."""
+        return {
+            "pid": self.pid,
+            "value": self.value,
+            "phase": self.phase,
+            "latency": self.latency,
+            "steps": self.steps,
+            "is_correct": self.is_correct,
+        }
+
+
+class ClusterNode:
+    """One cluster member: a protocol process plus its transport.
+
+    Args:
+        process: the (unchanged) protocol state machine to drive.
+        transport: this node's mesh endpoint; ``transport.pid`` must
+            match ``process.pid``.
+        registry: optional metrics registry (decide latency histogram,
+            step counters).
+        trace: optional :class:`~repro.cluster.trace.ClusterTraceWriter`.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        transport: Transport,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Any = None,
+    ) -> None:
+        if transport.pid != process.pid or transport.n != process.n:
+            raise ConfigurationError(
+                f"transport is endpoint ({transport.pid}, n={transport.n}) "
+                f"but process is ({process.pid}, n={process.n})"
+            )
+        self.process = process
+        self.transport = transport
+        self.registry = registry
+        self.trace = trace
+        if registry is not None:
+            process.metrics = registry
+            inner = getattr(process, "inner", None)
+            if isinstance(inner, Process):
+                inner.metrics = registry
+        # Event, not Future: asyncio.Event() binds no loop at creation,
+        # so nodes can be constructed before the driver enters asyncio.
+        self._decided = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+        self._started_at: Optional[float] = None
+        self.decision_record: Optional[DecisionRecord] = None
+
+    @property
+    def pid(self) -> int:
+        """This node's process id (same as the wrapped process's)."""
+        return self.process.pid
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Take the initial atomic step and begin consuming the inbound queue."""
+        if self._task is not None:
+            raise ConfigurationError(f"node {self.pid} already started")
+        self._started_at = monotonic()
+        if self.trace is not None:
+            self.trace.record("node-start", pid=self.pid)
+        if self.process.alive:
+            sends = self.process.start()
+            self.process.steps_taken += 1
+            self._after_step(sends)
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"node-{self.pid}"
+        )
+
+    async def _run(self) -> None:
+        process = self.process
+        inbound = self.transport.inbound
+        registry = self.registry
+        while True:
+            envelope = await inbound.get()
+            if not process.alive:
+                continue  # crashed/exited processes take no more steps
+            sends = process.step(envelope)
+            process.steps_taken += 1
+            if registry is not None:
+                registry.inc("cluster.node.steps")
+            self._after_step(sends)
+
+    async def shutdown(self) -> None:
+        """Stop stepping and close the transport (graceful, idempotent)."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+        await self.transport.close()
+
+    # ------------------------------------------------------------------ #
+    # Step bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _after_step(self, sends) -> None:
+        self._route(sends)
+        process = self.process
+        if process.decided and self.decision_record is None:
+            latency = monotonic() - (self._started_at or monotonic())
+            record = DecisionRecord(
+                pid=self.pid,
+                value=process.decision.value,
+                phase=process.decided_at_phase,
+                latency=latency,
+                steps=process.steps_taken,
+                is_correct=process.is_correct,
+            )
+            self.decision_record = record
+            if self.registry is not None:
+                self.registry.inc("cluster.decisions")
+                self.registry.observe(
+                    "cluster.decide.latency_ms", latency * 1000.0
+                )
+            if self.trace is not None:
+                self.trace.record(
+                    "decide", pid=self.pid, value=record.value,
+                    phase=record.phase,
+                )
+            self._decided.set()
+        if process.exited and self.trace is not None:
+            self.trace.record("exit", pid=self.pid)
+
+    def _route(self, sends) -> None:
+        """Deliver one step's sends: self loops back, the rest go out."""
+        pid = self.pid
+        for send in sends:
+            envelope = Envelope(
+                sender=pid, recipient=send.recipient, payload=send.payload
+            )
+            if send.recipient == pid:
+                self.transport.inbound.put_nowait(envelope)
+            else:
+                self.transport.send(envelope)
+
+    # ------------------------------------------------------------------ #
+    # Client API
+    # ------------------------------------------------------------------ #
+
+    async def decide(self, timeout: Optional[float] = None) -> DecisionRecord:
+        """Await this node's decision.
+
+        Raises:
+            asyncio.TimeoutError: the node did not decide in time.
+        """
+        if timeout is None:
+            await self._decided.wait()
+        else:
+            await asyncio.wait_for(self._decided.wait(), timeout=timeout)
+        assert self.decision_record is not None
+        return self.decision_record

@@ -1,0 +1,96 @@
+"""JSONL trace sink for cluster runs.
+
+The simulator's trace schema (:mod:`repro.obs.sinks`) is indexed by the
+kernel's global step counter, which has no cluster analogue — a live run
+is ordered by wall clock, and transport events (reconnects, retransmits)
+have no simulator counterpart.  :class:`ClusterTraceWriter` therefore
+writes its own JSONL schema, but *reuses the exact payload codec* of the
+simulator traces, so tooling that understands protocol messages reads
+both formats with one decoder.
+
+Each line is one event::
+
+    {"t": "send", "ts": 0.0123, "pid": 2, "peer": 0, "payload": {...}}
+
+``ts`` is seconds since the writer was created (the cluster epoch).
+Event types: ``node-start``, ``send``, ``recv``, ``step``, ``decide``,
+``exit``, ``crash``, ``reconnect``, ``chaos-drop``, ``chaos-reset``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from time import monotonic
+from typing import IO, Any, Iterator, Optional, Union
+
+from repro.obs.sinks import decode_payload, encode_payload
+
+
+class ClusterTraceWriter:
+    """Streams cluster events to a JSON Lines file.
+
+    Accepts a path (opened/closed by the writer) or an open text handle
+    (flushed but not closed).  Thread-safe: asyncio callbacks and the
+    driver share one writer.
+    """
+
+    def __init__(
+        self, target: Union[str, IO[str]], extra: Optional[dict] = None
+    ) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self._extra = dict(extra) if extra else None
+        self._epoch = monotonic()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def record(self, event: str, **fields: Any) -> None:
+        """Write one event line (no-op after close)."""
+        if self._closed:
+            return
+        record: dict = {"t": event, "ts": round(monotonic() - self._epoch, 6)}
+        payload = fields.pop("payload", None)
+        record.update(fields)
+        if payload is not None:
+            record["payload"] = encode_payload(payload)
+        if self._extra:
+            record.update(self._extra)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            if not self._closed:
+                self._handle.write(line)
+
+    def close(self) -> None:
+        """Flush and release the handle (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._handle.flush()
+            if self._owns_handle:
+                self._handle.close()
+
+    def __enter__(self) -> "ClusterTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_cluster_trace(path: str) -> Iterator[dict]:
+    """Lazily parse a cluster JSONL trace; payloads are decoded back to
+    their protocol message objects under the ``payload`` key."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "payload" in record:
+                record["payload"] = decode_payload(record["payload"])
+            yield record

@@ -1,0 +1,460 @@
+"""Asyncio connection mesh: the paper's message system over real TCP.
+
+Section 2.1 assumes messages are "delivered reliably but arbitrarily
+slowly"; Section 3.1 adds that "the message system must provide a way for
+correct processes to verify the identity of the sender of each message".
+:class:`Transport` provides exactly that contract on top of loopback (or
+LAN) TCP:
+
+* **Sender authentication.**  Every directed peer link opens with a
+  :class:`~repro.cluster.codec.HelloFrame` naming the dialer's pid; the
+  acceptor attributes every later data frame on that connection to the
+  handshaken pid, *ignoring* whatever sender the wire envelope claims —
+  the same stamping discipline the simulator's
+  :class:`~repro.net.system.MessageSystem` applies.  A Byzantine process
+  can lie inside its payloads but cannot impersonate another transport.
+* **Reliability.**  Links are lossy in practice (the chaos proxy drops
+  frames; reconnects lose whatever sat in kernel buffers), so each link
+  runs a small go-back-n layer: data frames carry a per-link sequence
+  number, the receiver delivers only in order and acks cumulatively, and
+  the sender keeps frames until acked — retransmitting on reconnect and
+  on a quiet-period timer.  Duplicates are discarded by sequence, so
+  every envelope is delivered to the application exactly once.
+* **Reconnect.**  A broken connection is retried forever with capped
+  exponential backoff plus jitter; the protocol layer never sees the
+  outage, only latency — which is precisely the paper's "arbitrarily
+  slow" envelope.
+
+Per-peer outbound queues are unbounded: the paper's model has no flow
+control, and consensus traffic is phase-bounded in practice.  Queue depth
+is exported as a gauge so runaway configurations are visible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from collections import deque
+from typing import Any, Optional
+
+from repro.cluster.codec import (
+    WIRE_ENCODING,
+    AckFrame,
+    ByeFrame,
+    CodecError,
+    DataFrame,
+    FrameReader,
+    HelloFrame,
+    encode_frame,
+)
+from repro.errors import ConfigurationError
+from repro.net.message import Envelope
+from repro.obs.metrics import MetricsRegistry
+
+
+def backoff_delay(
+    attempt: int,
+    rng: random.Random,
+    base: float = 0.05,
+    cap: float = 2.0,
+) -> float:
+    """Capped exponential backoff with jitter for reconnect attempt N.
+
+    The uncapped curve is ``base * 2**attempt``; the jitter multiplies by
+    a uniform draw in [0.5, 1.0] so a partitioned cluster's nodes do not
+    reconnect in lockstep.  Always strictly positive.
+    """
+    if attempt < 0:
+        raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+    raw = min(cap, base * (2.0 ** min(attempt, 30)))
+    return raw * (0.5 + 0.5 * rng.random())
+
+
+class _PeerLink:
+    """One directed link: this node's frames to a single remote peer.
+
+    Owns the outbound queue, the go-back-n unacked window, and the
+    connect/reconnect loop.  The reverse direction is the remote peer's
+    own link; one TCP connection carries data one way and acks the other.
+    """
+
+    def __init__(self, transport: "Transport", peer: int, addr: tuple) -> None:
+        self.transport = transport
+        self.peer = peer
+        self.addr = addr
+        self.pending: asyncio.Queue = asyncio.Queue()
+        self.unacked: deque[tuple[int, bytes]] = deque()
+        self.next_seq = 0
+        self.connected_once = False
+        self._task: Optional[asyncio.Task] = None
+        self._closed = False
+
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"link-{self.transport.pid}->{self.peer}"
+        )
+
+    def send(self, envelope: Envelope) -> None:
+        self.pending.put_nowait(envelope)
+
+    @property
+    def backlog(self) -> int:
+        """Frames not yet acknowledged by the peer (queued + in flight)."""
+        return self.pending.qsize() + len(self.unacked)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Connection loop
+    # ------------------------------------------------------------------ #
+
+    async def _run(self) -> None:
+        transport = self.transport
+        attempt = 0
+        while not self._closed:
+            try:
+                reader, writer = await asyncio.open_connection(*self.addr)
+            except OSError:
+                transport._inc("cluster.transport.connect_failures")
+                await asyncio.sleep(
+                    backoff_delay(
+                        attempt,
+                        transport.rng,
+                        transport.backoff_base,
+                        transport.backoff_cap,
+                    )
+                )
+                attempt += 1
+                continue
+            if self.connected_once:
+                transport._inc("cluster.transport.reconnects")
+                transport._trace(
+                    "reconnect", pid=transport.pid, peer=self.peer
+                )
+            self.connected_once = True
+            attempt = 0
+            try:
+                await self._speak(reader, writer)
+            except (OSError, CodecError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (OSError, ConnectionError):
+                    pass
+            if not self._closed:
+                await asyncio.sleep(
+                    backoff_delay(
+                        0,
+                        transport.rng,
+                        transport.backoff_base,
+                        transport.backoff_cap,
+                    )
+                )
+
+    async def _speak(self, reader, writer) -> None:
+        """Drive one live connection until it breaks or the link closes."""
+        transport = self.transport
+        writer.write(
+            encode_frame(
+                HelloFrame(pid=transport.pid, n=transport.n)
+            )
+        )
+        # Go-back-n recovery: everything unacked goes again, in order.
+        if self.unacked:
+            transport._inc(
+                "cluster.transport.retransmits", len(self.unacked)
+            )
+            for _seq, frame_bytes in self.unacked:
+                writer.write(frame_bytes)
+        await writer.drain()
+        ack_task = asyncio.get_running_loop().create_task(
+            self._consume_acks(reader)
+        )
+        try:
+            while not self._closed:
+                try:
+                    envelope = await asyncio.wait_for(
+                        self.pending.get(),
+                        timeout=transport.retransmit_interval,
+                    )
+                except asyncio.TimeoutError:
+                    if ack_task.done():
+                        break  # connection died under us
+                    if self.unacked:
+                        # Quiet period with an open window: go-back-n
+                        # retransmit of every outstanding frame.
+                        transport._inc(
+                            "cluster.transport.retransmits",
+                            len(self.unacked),
+                        )
+                        for _seq, frame_bytes in self.unacked:
+                            writer.write(frame_bytes)
+                        await writer.drain()
+                    continue
+                frame_bytes = encode_frame(
+                    DataFrame(link_seq=self.next_seq, envelope=envelope)
+                )
+                self.unacked.append((self.next_seq, frame_bytes))
+                self.next_seq += 1
+                transport._inc("cluster.transport.sent")
+                transport._gauge_max(
+                    "cluster.transport.queue_depth", self.backlog
+                )
+                transport._trace(
+                    "send",
+                    pid=transport.pid,
+                    peer=self.peer,
+                    payload=envelope.payload,
+                )
+                writer.write(frame_bytes)
+                await writer.drain()
+                if ack_task.done():
+                    break
+        finally:
+            ack_task.cancel()
+            try:
+                await ack_task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def _consume_acks(self, reader) -> None:
+        """Read the peer's cumulative acks off the connection."""
+        frames = FrameReader()
+        while True:
+            chunk = await reader.read(65536)
+            if not chunk:
+                return
+            frames.feed(chunk)
+            for frame in frames.frames():
+                if isinstance(frame, AckFrame):
+                    while self.unacked and self.unacked[0][0] <= frame.acked:
+                        self.unacked.popleft()
+                elif isinstance(frame, ByeFrame):
+                    return
+
+
+class Transport:
+    """The node-side connection manager: one mesh endpoint.
+
+    Args:
+        pid: this node's process id (the identity its handshakes claim).
+        n: cluster size; handshakes from peers of a different-shaped
+            cluster are rejected.
+        registry: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            receiving send/recv/reconnect/queue-depth metrics.
+        trace: optional cluster trace writer (see
+            :mod:`repro.cluster.trace`) receiving send/recv/reconnect
+            events.
+        seed: seed for the backoff-jitter RNG (deterministic tests).
+        backoff_base / backoff_cap: reconnect backoff curve parameters.
+        retransmit_interval: quiet-period seconds before outstanding
+            frames are retransmitted.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Any = None,
+        seed: Optional[int] = None,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        retransmit_interval: float = 0.5,
+    ) -> None:
+        if not 0 <= pid < n:
+            raise ConfigurationError(f"pid {pid} out of range for n={n}")
+        self.pid = pid
+        self.n = n
+        self.registry = registry
+        self.trace = trace
+        self.rng = random.Random(seed)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.retransmit_interval = retransmit_interval
+        #: Delivered envelopes, sender-authenticated, exactly once, in
+        #: per-link order.  The node actor consumes this queue.
+        self.inbound: asyncio.Queue = asyncio.Queue()
+        self._links: dict[int, _PeerLink] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: Go-back-n receive cursor per peer pid; persists across that
+        #: peer's reconnects, which is what makes dedup work.
+        self._rx_expected: dict[int, int] = {}
+        self._serving_connections: set[asyncio.Task] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def serve(self, host: str = "127.0.0.1", port: int = 0) -> tuple:
+        """Bind the accept socket; returns the (host, port) peers dial."""
+        self._server = await asyncio.start_server(
+            self._accept, host=host, port=port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    def connect(self, peers: dict[int, tuple]) -> None:
+        """Open one outbound link per remote peer (self excluded)."""
+        for peer, addr in sorted(peers.items()):
+            if peer == self.pid or peer in self._links:
+                continue
+            link = _PeerLink(self, peer, addr)
+            self._links[peer] = link
+            link.start()
+
+    async def close(self) -> None:
+        """Tear the mesh endpoint down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for link in self._links.values():
+            await link.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._serving_connections):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+
+    def send(self, envelope: Envelope) -> None:
+        """Queue one envelope for its recipient's link (non-blocking).
+
+        The envelope's ``sender`` must be this node — the transport
+        refuses to originate traffic on behalf of another identity.
+        """
+        if envelope.sender != self.pid:
+            raise ConfigurationError(
+                f"transport {self.pid} cannot send as {envelope.sender}"
+            )
+        link = self._links.get(envelope.recipient)
+        if link is None:
+            raise ConfigurationError(
+                f"no link from {self.pid} to peer {envelope.recipient}"
+            )
+        link.send(envelope)
+
+    def backlog(self) -> int:
+        """Total frames queued or unacknowledged across all links."""
+        return sum(link.backlog for link in self._links.values())
+
+    # ------------------------------------------------------------------ #
+    # Accepting
+    # ------------------------------------------------------------------ #
+
+    async def _accept(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._serving_connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (OSError, CodecError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._serving_connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        frames = FrameReader()
+        peer: Optional[int] = None
+        while not self._closed:
+            chunk = await reader.read(65536)
+            if not chunk:
+                return
+            frames.feed(chunk)
+            for frame in frames.frames():
+                if peer is None:
+                    peer = self._handshake(frame)
+                    continue
+                if isinstance(frame, DataFrame):
+                    self._receive_data(peer, frame, writer)
+                elif isinstance(frame, ByeFrame):
+                    return
+                # Acks never arrive on accepted connections; ignore.
+            await writer.drain()
+
+    def _handshake(self, frame) -> int:
+        """Validate the connection's first frame; returns the peer pid."""
+        if not isinstance(frame, HelloFrame):
+            raise CodecError(
+                f"connection opened with {type(frame).__name__}, "
+                "expected HelloFrame"
+            )
+        if frame.encoding != WIRE_ENCODING:
+            raise CodecError(
+                f"peer encodes bodies as {frame.encoding!r}, this node "
+                f"speaks {WIRE_ENCODING!r}"
+            )
+        if frame.n != self.n:
+            raise CodecError(
+                f"peer believes the cluster has n={frame.n} nodes, "
+                f"this node was configured with n={self.n}"
+            )
+        if not 0 <= frame.pid < self.n or frame.pid == self.pid:
+            raise CodecError(f"handshake claims invalid pid {frame.pid}")
+        return frame.pid
+
+    def _receive_data(self, peer: int, frame: DataFrame, writer) -> None:
+        expected = self._rx_expected.get(peer, 0)
+        if frame.link_seq == expected:
+            self._rx_expected[peer] = expected + 1
+            # Transport-level authentication: the delivered envelope's
+            # sender is the *handshaken* peer id, whatever the wire said.
+            envelope = Envelope(
+                sender=peer,
+                recipient=self.pid,
+                payload=frame.envelope.payload,
+                seq=frame.envelope.seq,
+            )
+            self.inbound.put_nowait(envelope)
+            self._inc("cluster.transport.received")
+            self._trace(
+                "recv", pid=self.pid, peer=peer, payload=envelope.payload
+            )
+        elif frame.link_seq < expected:
+            self._inc("cluster.transport.duplicates")
+        else:
+            # A gap: some earlier frame was dropped in flight.  Go-back-n
+            # discards everything until the retransmission arrives.
+            self._inc("cluster.transport.gaps")
+        writer.write(
+            encode_frame(AckFrame(acked=self._rx_expected.get(peer, 0) - 1))
+        )
+
+    # ------------------------------------------------------------------ #
+    # Observability plumbing
+    # ------------------------------------------------------------------ #
+
+    def _inc(self, name: str, amount: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.inc(name, amount)
+
+    def _gauge_max(self, name: str, value: float) -> None:
+        if self.registry is not None:
+            self.registry.gauge_max(name, value)
+
+    def _trace(self, event: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.record(event, **fields)

@@ -2,7 +2,9 @@
 
 Subcommands:
 
-* ``list`` — show the experiment registry (E1–E10) with titles.
+* ``list`` — show the experiment registry (E1–E10) with titles;
+  ``--json`` emits a machine-readable inventory of experiments,
+  fuzzable protocols, and cluster capabilities.
 * ``run E3 [E4 ...]`` — run experiments and print their report tables;
   ``--metrics`` additionally prints each experiment's merged metrics
   (per-phase witness/accept counts, decision-latency histograms), and
@@ -20,6 +22,11 @@ Subcommands:
   violation to a replay-verified counterexample artifact.  At-bound
   exits non-zero on any violation; ``--over-bound`` exits non-zero
   unless at least one violation is found and shrinks cleanly.
+* ``cluster`` — run the unchanged protocol cores over real TCP
+  (see :mod:`repro.cluster`): an n-node loopback cluster, optionally
+  with live Byzantine nodes and chaos-proxy delay/drop/reset
+  schedules; ``--bench`` sweeps sizes and writes
+  ``BENCH_cluster.json``.
 
 The same experiment implementations back the pytest benchmarks; the CLI
 exists so a user can regenerate any paper artifact without pytest.
@@ -37,10 +44,34 @@ from repro.harness.experiments import EXPERIMENTS
 from repro.obs import collector
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
-    for key in sorted(EXPERIMENTS, key=lambda k: int(k[1:])):
-        doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()[0]
-        print(f"{key.upper():4s} {doc}")
+def _cmd_list(args: argparse.Namespace) -> int:
+    entries = [
+        (
+            key.upper(),
+            (EXPERIMENTS[key].__doc__ or "").strip().splitlines()[0],
+        )
+        for key in sorted(EXPERIMENTS, key=lambda k: int(k[1:]))
+    ]
+    if args.json:
+        import json
+
+        from repro.cluster.driver import BYZANTINE_KINDS, CLUSTER_PROTOCOLS
+        from repro.faults.plans import PROTOCOLS
+
+        payload = {
+            "experiments": [
+                {"id": key, "title": title} for key, title in entries
+            ],
+            "protocols": list(PROTOCOLS),
+            "cluster": {
+                "protocols": list(CLUSTER_PROTOCOLS),
+                "byzantine_kinds": sorted(BYZANTINE_KINDS),
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for key, title in entries:
+        print(f"{key:4s} {title}")
     return 0
 
 
@@ -449,6 +480,152 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    from dataclasses import replace
+
+    from repro.cluster.chaos import ChaosConfig
+    from repro.cluster.driver import (
+        ClusterSpec,
+        run_cluster_bench,
+        run_cluster_sync,
+        write_bench_report,
+    )
+    from repro.errors import ConfigurationError
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.report import render_metrics_summary
+
+    if args.timeout <= 0:
+        print(f"--timeout must be > 0, got {args.timeout}")
+        return 2
+    if args.rounds < 1:
+        print(f"--rounds must be >= 1, got {args.rounds}")
+        return 2
+    chaos = None
+    chaos_requested = (
+        args.chaos_delay_max > 0
+        or args.chaos_drop > 0
+        or args.chaos_reset_every is not None
+    )
+    try:
+        if chaos_requested:
+            chaos = ChaosConfig(
+                delay_min=args.chaos_delay_min,
+                delay_max=max(args.chaos_delay_max, args.chaos_delay_min),
+                drop_rate=args.chaos_drop,
+                reset_every=args.chaos_reset_every,
+                seed=args.seed,
+            )
+        spec = ClusterSpec(
+            n=args.n,
+            k=args.k,
+            protocol=args.protocol,
+            inputs=args.inputs,
+            byzantine_count=args.byzantine,
+            byzantine_kind=args.byzantine_kind,
+            chaos=chaos,
+            seed=args.seed,
+        )
+    except ConfigurationError as exc:
+        print(f"bad cluster configuration: {exc}")
+        return 2
+
+    if args.bench:
+        specs = []
+        try:
+            for pair in args.bench_ns.split(","):
+                n_text, sep, k_text = pair.strip().partition(":")
+                n_value = int(n_text)
+                k_value = int(k_text) if sep else spec.k
+                specs.append(
+                    replace(
+                        spec,
+                        n=n_value,
+                        k=k_value,
+                        inputs=None,  # n varies; unanimous inputs scale
+                        byzantine_count=min(args.byzantine, k_value),
+                    )
+                )
+        except (ValueError, ConfigurationError) as exc:
+            print(f"bad --bench-ns entry: {exc}")
+            return 2
+        try:
+            payload = asyncio.run(
+                run_cluster_bench(
+                    specs,
+                    rounds=args.rounds,
+                    timeout=args.timeout,
+                    trace_dir=args.trace_out,
+                )
+            )
+        except ConfigurationError as exc:
+            print(f"bad cluster configuration: {exc}")
+            return 2
+        write_bench_report(payload, args.out)
+        for row in payload["series"]:
+            latency = row["decide_latency_ms"]
+            print(
+                f"n={row['n']:2d} k={row['k']} byz={row['byzantine']} "
+                f"chaos={'on' if row['chaos'] else 'off'}: "
+                f"{row['decisions']} decisions, "
+                f"{row['decisions_per_sec']:.1f}/s, "
+                f"decide p50 {latency['p50']:.1f} ms, "
+                f"p99 {latency['p99']:.1f} ms"
+            )
+            for problem in row["problems"]:
+                print(f"  PROBLEM: {problem}")
+        print(f"wrote {args.out}")
+        return 0 if payload["ok"] else 1
+
+    registry = MetricsRegistry()
+    try:
+        report = run_cluster_sync(
+            spec,
+            timeout=args.timeout,
+            registry=registry,
+            trace_dir=args.trace_out,
+        )
+    except ConfigurationError as exc:
+        print(f"bad cluster configuration: {exc}")
+        return 2
+    byz_note = (
+        f", {spec.byzantine_count} Byzantine ({spec.byzantine_kind})"
+        if spec.byzantine_count
+        else ""
+    )
+    chaos_note = " under chaos" if chaos is not None else ""
+    print(
+        f"cluster n={spec.n} k={spec.k} {spec.protocol}{byz_note}"
+        f"{chaos_note}: "
+        f"{'DECIDED' if not report.timed_out else 'TIMED OUT'} "
+        f"in {report.wall_seconds:.3f}s"
+    )
+    for record in sorted(report.records, key=lambda r: r.pid):
+        role = "correct" if record.is_correct else "byzantine"
+        print(
+            f"  node {record.pid}: decided {record.value} "
+            f"after {record.latency * 1000.0:.1f} ms "
+            f"({record.steps} steps, {role})"
+        )
+    for problem in report.problems:
+        print(f"  ORACLE VIOLATION: {problem}")
+    if not report.problems and not report.timed_out:
+        print(
+            f"  oracles: agreement/validity/termination PASS "
+            f"(value {report.consensus_value()})"
+        )
+    if args.metrics:
+        print()
+        print(
+            render_metrics_summary(
+                registry.snapshot(), title="cluster metrics"
+            )
+        )
+    if args.trace_out is not None:
+        print(f"traces in {args.trace_out}/")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (also exposed as the ``repro-consensus`` script)."""
     parser = argparse.ArgumentParser(
@@ -459,9 +636,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    subparsers.add_parser("list", help="list experiments").set_defaults(
-        func=_cmd_list
+    list_parser = subparsers.add_parser(
+        "list", help="list experiments and protocols"
     )
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable inventory (experiments, protocols, "
+        "cluster capabilities)",
+    )
+    list_parser.set_defaults(func=_cmd_list)
     run_parser = subparsers.add_parser("run", help="run experiments by id")
     run_parser.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
     run_parser.add_argument(
@@ -632,6 +816,104 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="shrink at most N violations per invocation (default: 5)",
     )
     fuzz_parser.set_defaults(func=_cmd_fuzz)
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help="run the protocols over real TCP: n-node loopback cluster "
+        "with optional Byzantine nodes and chaos injection",
+    )
+    cluster_parser.add_argument(
+        "--n", type=int, default=4, metavar="N",
+        help="cluster size (default: 4)",
+    )
+    cluster_parser.add_argument(
+        "--k", type=int, default=1, metavar="K",
+        help="resilience parameter (default: 1)",
+    )
+    cluster_parser.add_argument(
+        "--protocol",
+        choices=("failstop", "malicious"),
+        default="malicious",
+        help="which figure protocol to run (default: malicious)",
+    )
+    cluster_parser.add_argument(
+        "--inputs",
+        default=None,
+        metavar="BITS",
+        help="per-node initial values, e.g. 1011 (default: unanimous 1s)",
+    )
+    cluster_parser.add_argument(
+        "--byzantine", type=int, default=0, metavar="B",
+        help="number of live Byzantine nodes, highest pids "
+        "(malicious protocol only; default: 0)",
+    )
+    cluster_parser.add_argument(
+        "--byzantine-kind",
+        choices=("balancing", "equivocating", "anti-majority", "silent"),
+        default="balancing",
+        help="Byzantine behaviour (default: balancing)",
+    )
+    cluster_parser.add_argument(
+        "--chaos-delay-min", type=float, default=0.0, metavar="SECONDS",
+        help="minimum chaos-proxy delay per data frame (default: 0)",
+    )
+    cluster_parser.add_argument(
+        "--chaos-delay-max", type=float, default=0.0, metavar="SECONDS",
+        help="maximum chaos-proxy delay per data frame; > 0 enables "
+        "the proxies (default: 0)",
+    )
+    cluster_parser.add_argument(
+        "--chaos-drop", type=float, default=0.0, metavar="RATE",
+        help="chaos-proxy drop probability per data frame; the "
+        "transport retransmits, so drops cost latency not safety "
+        "(default: 0)",
+    )
+    cluster_parser.add_argument(
+        "--chaos-reset-every", type=int, default=None, metavar="FRAMES",
+        help="kill connections after this many forwarded data frames "
+        "to exercise reconnects (default: never)",
+    )
+    cluster_parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="base seed for transport jitter and chaos schedules "
+        "(default: 0)",
+    )
+    cluster_parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="wall-clock budget per cluster run (default: 60)",
+    )
+    cluster_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the merged transport/chaos/decision metrics",
+    )
+    cluster_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="write one JSONL trace per node into DIR",
+    )
+    cluster_parser.add_argument(
+        "--bench",
+        action="store_true",
+        help="sweep --bench-ns configurations and write BENCH_cluster.json",
+    )
+    cluster_parser.add_argument(
+        "--bench-ns",
+        default="4:1,7:2",
+        metavar="N:K,...",
+        help="bench sweep as comma-separated n:k pairs (default: 4:1,7:2)",
+    )
+    cluster_parser.add_argument(
+        "--rounds", type=int, default=1, metavar="R",
+        help="bench rounds per configuration (default: 1)",
+    )
+    cluster_parser.add_argument(
+        "--out",
+        default="BENCH_cluster.json",
+        metavar="PATH",
+        help="bench report path (default: ./BENCH_cluster.json)",
+    )
+    cluster_parser.set_defaults(func=_cmd_cluster)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -26,6 +26,7 @@ exists to keep the benchmark code exercised by the tier-1 suite.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
@@ -295,7 +296,13 @@ def run_core_benchmark(
 
 
 def write_report(payload: dict, path: str) -> None:
-    """Write the benchmark payload as pretty-printed JSON."""
+    """Write the benchmark payload as pretty-printed JSON.
+
+    Parent directories are created, so ``--out artifacts/BENCH_core.json``
+    works on a fresh checkout.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

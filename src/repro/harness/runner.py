@@ -23,6 +23,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.errors import ConfigurationError, SimulationLimitError
 from repro.harness.stats import SummaryStats, summarize
+from repro.net.message import reset_envelope_sequence
 from repro.net.schedulers import Scheduler
 from repro.obs import collector
 from repro.obs.metrics import HistogramSnapshot, MetricsSnapshot, merge_snapshots
@@ -71,6 +72,11 @@ def default_metrics() -> bool:
 
 def _run_seed_chunk(seeds: Sequence[int]) -> list[RunResult]:
     """Worker body: run a contiguous chunk of seeds on the inherited runner."""
+    # Envelope ids are tracing metadata, but forked workers inherit the
+    # parent's counter wherever it happens to stand (and pools may be
+    # reused across chunks).  Resetting per chunk makes trace envelope
+    # ids a deterministic function of the chunk alone.
+    reset_envelope_sequence()
     runner = _POOL_RUNNER
     assert runner is not None, "worker forked without a pool runner"
     return [runner.run_one(seed) for seed in seeds]

@@ -14,6 +14,7 @@ and ``repro-consensus metrics`` (instrumented reference configurations +
 from __future__ import annotations
 
 import json
+import os
 import re
 from typing import Mapping, Optional
 
@@ -132,7 +133,12 @@ def metrics_json_payload(
 def write_metrics_json(
     snapshots: Mapping[str, MetricsSnapshot], path: str
 ) -> None:
-    """Write :func:`metrics_json_payload` as pretty-printed JSON."""
+    """Write :func:`metrics_json_payload` as pretty-printed JSON.
+
+    Parent directories are created so nested ``--out`` paths work.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(metrics_json_payload(snapshots), handle, indent=2, sort_keys=True)
         handle.write("\n")

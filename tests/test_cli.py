@@ -68,3 +68,72 @@ class TestFuzzCli:
     def test_bad_protocol_pool_rejected(self, capsys):
         assert main(["fuzz", "--plans", "5", "--protocols", "paxos"]) == 2
         assert "unknown protocol" in capsys.readouterr().out
+
+
+class TestListJson:
+    def test_json_inventory_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        ids = [entry["id"] for entry in payload["experiments"]]
+        assert ids == [f"E{i}" for i in range(1, len(ids) + 1)]
+        assert all(entry["title"] for entry in payload["experiments"])
+        assert "failstop" in payload["protocols"]
+        assert payload["cluster"]["protocols"] == ["failstop", "malicious"]
+        assert "balancing" in payload["cluster"]["byzantine_kinds"]
+
+    def test_plain_listing_unchanged(self, capsys):
+        assert main(["list"]) == 0
+        assert "E1 " in capsys.readouterr().out
+
+
+class TestClusterCli:
+    pytestmark = __import__("pytest").mark.cluster
+
+    def test_failstop_smoke(self, capsys):
+        assert main([
+            "cluster", "--protocol", "failstop", "--n", "4", "--k", "1",
+            "--timeout", "30", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DECIDED" in out
+        assert "PASS" in out
+
+    def test_byzantine_chaos_run_with_traces(self, capsys, tmp_path):
+        trace_dir = str(tmp_path / "traces")
+        assert main([
+            "cluster", "--n", "4", "--k", "1", "--byzantine", "1",
+            "--chaos-delay-max", "0.003", "--chaos-drop", "0.02",
+            "--timeout", "45", "--seed", "3", "--metrics",
+            "--trace-out", trace_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "byzantine" in out
+        assert "cluster.transport.received" in out
+        import os
+        assert sorted(os.listdir(trace_dir)) == [
+            f"node-{pid}.jsonl" for pid in range(4)
+        ]
+
+    def test_bench_writes_report(self, capsys, tmp_path):
+        import json
+        out_path = str(tmp_path / "nested" / "BENCH_cluster.json")
+        assert main([
+            "cluster", "--bench", "--bench-ns", "4:1", "--rounds", "1",
+            "--timeout", "45", "--seed", "2", "--out", out_path,
+        ]) == 0
+        with open(out_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["ok"]
+        assert payload["series"][0]["n"] == 4
+
+    def test_bad_configuration_exits_2(self, capsys):
+        assert main([
+            "cluster", "--protocol", "failstop", "--byzantine", "1",
+        ]) == 2
+        assert "bad cluster configuration" in capsys.readouterr().out
+
+    def test_bad_bench_ns_exits_2(self, capsys):
+        assert main(["cluster", "--bench", "--bench-ns", "4:x"]) == 2
+        assert "bad --bench-ns" in capsys.readouterr().out

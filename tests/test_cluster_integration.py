@@ -1,0 +1,141 @@
+"""End-to-end cluster integration: Byzantine nodes, chaos, benchmarks.
+
+The headline acceptance scenario for the networked runtime: a 4-node
+loopback cluster with one live Byzantine node reaches agreement while a
+chaos proxy delays, drops, and resets its traffic — the same unchanged
+protocol core the simulator drives, now over real TCP.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.cluster.chaos import ChaosConfig
+from repro.cluster.driver import (
+    ClusterSpec,
+    run_cluster_bench,
+    run_cluster_sync,
+    write_bench_report,
+)
+from repro.cluster.trace import read_cluster_trace
+from repro.errors import ConfigurationError
+
+pytestmark = pytest.mark.cluster
+
+
+class TestChaosConfigValidation:
+    def test_bad_delay_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(delay_min=0.5, delay_max=0.1)
+
+    def test_bad_drop_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(drop_rate=1.0)
+
+    def test_inactive_config_detected(self):
+        assert not ChaosConfig().active
+        assert ChaosConfig(delay_max=0.1).active
+        assert ChaosConfig(reset_every=5).active
+
+
+class TestByzantineClusterUnderChaos:
+    def test_n4_one_balancing_byzantine_with_chaos(self):
+        """The acceptance scenario: n=4, k=1, live adversary, bad network."""
+        report = run_cluster_sync(
+            ClusterSpec(
+                n=4,
+                k=1,
+                protocol="malicious",
+                byzantine_count=1,
+                byzantine_kind="balancing",
+                chaos=ChaosConfig(
+                    delay_min=0.001,
+                    delay_max=0.008,
+                    drop_rate=0.05,
+                    reset_every=40,
+                    seed=3,
+                ),
+                seed=11,
+            ),
+            timeout=60.0,
+        )
+        assert report.ok, report.problems
+        correct = [r for r in report.records if r.is_correct]
+        assert len(correct) == 3
+        assert len({r.value for r in correct}) == 1
+        # Chaos actually perturbed the run.
+        assert report.metrics.counters.get("cluster.chaos.delayed", 0) > 0
+
+    def test_equivocating_byzantine_under_chaos(self):
+        report = run_cluster_sync(
+            ClusterSpec(
+                n=4,
+                k=1,
+                protocol="malicious",
+                byzantine_count=1,
+                byzantine_kind="equivocating",
+                chaos=ChaosConfig(delay_max=0.005, drop_rate=0.03, seed=9),
+                seed=17,
+            ),
+            timeout=60.0,
+        )
+        assert report.ok, report.problems
+
+    def test_trace_files_capture_the_run(self, tmp_path):
+        trace_dir = str(tmp_path / "traces")
+        report = run_cluster_sync(
+            ClusterSpec(n=4, k=1, protocol="failstop", seed=8),
+            timeout=30.0,
+            trace_dir=trace_dir,
+        )
+        assert report.ok
+        for pid in range(4):
+            path = os.path.join(trace_dir, f"node-{pid}.jsonl")
+            events = list(read_cluster_trace(path))
+            kinds = {event["t"] for event in events}
+            assert "node-start" in kinds
+            assert "decide" in kinds
+            assert "send" in kinds and "recv" in kinds
+            # Payloads decode back to protocol message objects.
+            sends = [e for e in events if e["t"] == "send" and e.get("payload")]
+            assert sends and hasattr(sends[0]["payload"], "phaseno")
+
+
+class TestClusterBench:
+    def test_bench_payload_and_report_file(self, tmp_path):
+        specs = [
+            ClusterSpec(n=4, k=1, protocol="malicious", seed=1),
+            ClusterSpec(
+                n=4,
+                k=1,
+                protocol="malicious",
+                byzantine_count=1,
+                chaos=ChaosConfig(delay_max=0.002, seed=2),
+                seed=2,
+            ),
+        ]
+        payload = asyncio.run(run_cluster_bench(specs, rounds=2, timeout=60.0))
+        assert payload["ok"], payload
+        assert payload["benchmark"] == "cluster"
+        assert len(payload["series"]) == 2
+        clean, chaotic = payload["series"]
+        assert clean["decisions"] == 8  # 4 correct nodes x 2 rounds
+        assert chaotic["decisions"] == 6  # 3 correct nodes x 2 rounds
+        assert chaotic["chaos"] and not clean["chaos"]
+        for row in payload["series"]:
+            latency = row["decide_latency_ms"]
+            assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
+            assert row["decisions_per_sec"] > 0
+        # Nested output paths are created on demand.
+        out = str(tmp_path / "deep" / "nested" / "BENCH_cluster.json")
+        write_bench_report(payload, out)
+        with open(out, encoding="utf-8") as handle:
+            assert json.load(handle) == payload
+
+    def test_bench_rejects_zero_rounds(self):
+        with pytest.raises(ConfigurationError):
+            asyncio.run(
+                run_cluster_bench([ClusterSpec(n=4, k=1)], rounds=0)
+            )

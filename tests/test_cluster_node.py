@@ -1,0 +1,183 @@
+"""Node-actor and driver tests: loopback clusters and record oracles."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.driver import (
+    ClusterSpec,
+    check_decision_records,
+    percentile,
+    run_cluster,
+    run_cluster_sync,
+)
+from repro.cluster.node import ClusterNode, DecisionRecord
+from repro.cluster.transport import Transport
+from repro.core.fail_stop import FailStopConsensus
+from repro.errors import ConfigurationError
+
+pytestmark = pytest.mark.cluster
+
+
+def record(pid, value, is_correct=True, latency=0.01) -> DecisionRecord:
+    return DecisionRecord(
+        pid=pid,
+        value=value,
+        phase=1,
+        latency=latency,
+        steps=10,
+        is_correct=is_correct,
+    )
+
+
+class TestDecisionRecordOracles:
+    def test_clean_run_passes(self):
+        records = [record(0, 1), record(1, 1), record(2, 1)]
+        assert check_decision_records(records, frozenset({0, 1, 2}), [1, 1, 1]) == []
+
+    def test_agreement_violation_detected(self):
+        records = [record(0, 1), record(1, 0), record(2, 1)]
+        problems = check_decision_records(records, frozenset({0, 1, 2}), [1, 0, 1])
+        assert any("agreement" in p for p in problems)
+
+    def test_validity_violation_detected(self):
+        records = [record(0, 0), record(1, 0)]
+        problems = check_decision_records(records, frozenset({0, 1}), [1, 1])
+        assert any("validity" in p for p in problems)
+
+    def test_mixed_inputs_allow_either_value(self):
+        records = [record(0, 0), record(1, 0)]
+        assert check_decision_records(records, frozenset({0, 1}), [1, 0]) == []
+
+    def test_missing_survivor_flagged_as_termination(self):
+        records = [record(0, 1)]
+        problems = check_decision_records(records, frozenset({0, 1}), [1, 1])
+        assert any("termination" in p and "[1]" in p for p in problems)
+
+    def test_crashed_processes_are_excused(self):
+        records = [record(0, 1)]
+        problems = check_decision_records(
+            records, frozenset({0, 1}), [1, 1], surviving_pids=frozenset({0})
+        )
+        assert problems == []
+
+    def test_byzantine_records_are_ignored(self):
+        records = [record(0, 1), record(1, 1), record(2, 0, is_correct=False)]
+        assert (
+            check_decision_records(records, frozenset({0, 1}), [1, 1, 1]) == []
+        )
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.99) == 4.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile([], 0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 1.5)
+
+
+class TestClusterSpecValidation:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n=4, k=1, protocol="paxos")
+
+    def test_byzantine_on_failstop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n=4, k=1, protocol="failstop", byzantine_count=1)
+
+    def test_unknown_byzantine_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n=4, k=1, byzantine_kind="charming")
+
+    def test_inputs_string_form(self):
+        spec = ClusterSpec(n=4, k=1, inputs="1011")
+        assert spec.effective_inputs == [1, 0, 1, 1]
+
+    def test_byzantine_pids_are_highest(self):
+        spec = ClusterSpec(n=5, k=1, byzantine_count=1)
+        assert spec.byzantine_pids == (4,)
+
+
+class TestClusterNodeValidation:
+    def test_pid_mismatch_rejected(self):
+        async def scenario():
+            transport = Transport(0, 4)
+            process = FailStopConsensus(1, 4, 1, 1)
+            with pytest.raises(ConfigurationError, match="endpoint"):
+                ClusterNode(process, transport)
+            await transport.close()
+
+        asyncio.run(scenario())
+
+
+class TestLoopbackClusters:
+    def test_failstop_n4_reaches_agreement(self):
+        report = run_cluster_sync(
+            ClusterSpec(n=4, k=1, protocol="failstop", seed=1), timeout=30.0
+        )
+        assert report.ok
+        assert not report.problems
+        assert len(report.records) == 4
+        assert report.consensus_value() == 1
+        assert all(r.latency > 0 for r in report.records)
+        # Transport metrics flowed into the report snapshot.
+        assert report.metrics.counters["cluster.decisions"] == 4
+        assert report.metrics.counters["cluster.transport.received"] > 0
+
+    def test_failstop_with_mixed_inputs_decides_one_value(self):
+        report = run_cluster_sync(
+            ClusterSpec(n=5, k=2, protocol="failstop", inputs="10101", seed=2),
+            timeout=30.0,
+        )
+        assert report.ok
+        values = {r.value for r in report.records}
+        assert len(values) == 1
+
+    def test_malicious_n4_clean_network(self):
+        report = run_cluster_sync(
+            ClusterSpec(n=4, k=1, protocol="malicious", seed=3), timeout=30.0
+        )
+        assert report.ok
+        assert report.consensus_value() == 1
+
+    def test_cluster_with_crash_victim_excuses_the_victim(self):
+        report = run_cluster_sync(
+            ClusterSpec(
+                n=4,
+                k=1,
+                protocol="failstop",
+                crashes={0: {"crash_at_step": 2}},
+                seed=4,
+            ),
+            timeout=30.0,
+        )
+        assert report.ok
+        decided = {r.pid for r in report.records}
+        assert 0 not in decided
+        assert decided == {1, 2, 3}
+
+    def test_two_clusters_in_one_loop(self):
+        """Transports bind ephemeral ports, so clusters can coexist."""
+
+        async def scenario():
+            first, second = await asyncio.gather(
+                run_cluster(
+                    ClusterSpec(n=4, k=1, protocol="failstop", seed=5),
+                    timeout=30.0,
+                ),
+                run_cluster(
+                    ClusterSpec(n=4, k=1, protocol="failstop", inputs="0000", seed=6),
+                    timeout=30.0,
+                ),
+            )
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first.ok and second.ok
+        assert first.consensus_value() == 1
+        assert second.consensus_value() == 0

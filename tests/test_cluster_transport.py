@@ -1,0 +1,244 @@
+"""Transport-layer tests: authentication, reliability, backoff.
+
+These run real asyncio TCP on 127.0.0.1 with ephemeral ports.  The
+tests are written as synchronous functions driving ``asyncio.run`` so
+they need no async test plugin.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.cluster.chaos import ChaosConfig, ChaosProxy
+from repro.cluster.codec import (
+    DataFrame,
+    HelloFrame,
+    encode_frame,
+)
+from repro.cluster.transport import Transport, backoff_delay
+from repro.core.messages import SimpleMessage
+from repro.errors import ConfigurationError
+from repro.net.message import Envelope
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.cluster
+
+
+class TestBackoffDelay:
+    def test_growth_is_exponential_until_the_cap(self):
+        rng = random.Random(0)
+        # With jitter in [0.5, 1.0], attempt a is bounded by the raw curve.
+        for attempt in range(12):
+            raw = min(2.0, 0.05 * 2**attempt)
+            for _ in range(20):
+                delay = backoff_delay(attempt, rng)
+                assert 0.5 * raw <= delay <= raw
+
+    def test_custom_base_and_cap(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            assert backoff_delay(30, rng, base=0.01, cap=0.3) <= 0.3
+
+    def test_huge_attempt_does_not_overflow(self):
+        assert backoff_delay(10_000, random.Random(2)) <= 2.0
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            backoff_delay(-1, random.Random(0))
+
+
+def envelope(sender: int, recipient: int, tag: int) -> Envelope:
+    return Envelope(
+        sender=sender,
+        recipient=recipient,
+        payload=SimpleMessage(phaseno=tag, value=tag % 2),
+    )
+
+
+async def drain(transport: Transport, count: int, timeout: float = 10.0):
+    received = []
+    async def _pull():
+        while len(received) < count:
+            received.append(await transport.inbound.get())
+    await asyncio.wait_for(_pull(), timeout=timeout)
+    return received
+
+
+class TestTransportPair:
+    def test_ordered_authenticated_delivery(self):
+        async def scenario():
+            a = Transport(0, 2, seed=0)
+            b = Transport(1, 2, seed=1)
+            addr_a = await a.serve()
+            addr_b = await b.serve()
+            peers = {0: addr_a, 1: addr_b}
+            a.connect(peers)
+            b.connect(peers)
+            try:
+                for tag in range(40):
+                    a.send(envelope(0, 1, tag))
+                received = await drain(b, 40)
+            finally:
+                await a.close()
+                await b.close()
+            return received
+
+        received = asyncio.run(scenario())
+        assert [env.payload.phaseno for env in received] == list(range(40))
+        assert all(env.sender == 0 for env in received)
+        assert all(env.recipient == 1 for env in received)
+
+    def test_send_refuses_foreign_identity(self):
+        async def scenario():
+            a = Transport(0, 3, seed=0)
+            await a.serve()
+            a.connect({1: ("127.0.0.1", 1)})
+            try:
+                with pytest.raises(ConfigurationError, match="cannot send as"):
+                    a.send(envelope(2, 1, 0))
+            finally:
+                await a.close()
+
+        asyncio.run(scenario())
+
+    def test_wire_claimed_sender_is_overridden_by_handshake(self):
+        """A peer lying about its envelope sender is re-stamped.
+
+        The connection handshakes as pid 1, then emits a data frame whose
+        envelope claims sender 2; the receiver must attribute it to 1
+        (Section 3.1 transport authentication).
+        """
+
+        async def scenario():
+            b = Transport(0, 3, seed=0)
+            host, port = await b.serve()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame(HelloFrame(pid=1, n=3)))
+                spoofed = envelope(2, 0, 7)
+                writer.write(encode_frame(DataFrame(link_seq=0, envelope=spoofed)))
+                await writer.drain()
+                delivered = await asyncio.wait_for(b.inbound.get(), timeout=5)
+                writer.close()
+                return delivered
+            finally:
+                await b.close()
+
+        delivered = asyncio.run(scenario())
+        assert delivered.sender == 1
+        assert delivered.payload.phaseno == 7
+
+    def test_mismatched_cluster_size_is_rejected(self):
+        async def scenario():
+            b = Transport(0, 3, seed=0)
+            host, port = await b.serve()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame(HelloFrame(pid=1, n=99)))
+                writer.write(
+                    encode_frame(DataFrame(link_seq=0, envelope=envelope(1, 0, 1)))
+                )
+                await writer.drain()
+                # The server drops the connection instead of delivering.
+                eof = await asyncio.wait_for(reader.read(), timeout=5)
+                assert eof == b""
+                assert b.inbound.empty()
+            finally:
+                await b.close()
+
+        asyncio.run(scenario())
+
+
+class TestReliabilityUnderChaos:
+    def test_exactly_once_in_order_despite_drops_and_resets(self):
+        """Go-back-n recovers from a lossy, resetting proxy path."""
+
+        async def scenario():
+            registry = MetricsRegistry()
+            receiver = Transport(1, 2, registry=registry, seed=1)
+            addr = await receiver.serve()
+            proxy = ChaosProxy(
+                addr,
+                ChaosConfig(drop_rate=0.2, reset_every=11, seed=5),
+                registry=registry,
+            )
+            proxy_addr = await proxy.serve()
+            sender = Transport(
+                0,
+                2,
+                registry=registry,
+                seed=0,
+                backoff_base=0.01,
+                backoff_cap=0.05,
+                retransmit_interval=0.05,
+            )
+            await sender.serve()
+            sender.connect({1: proxy_addr})
+            try:
+                for tag in range(60):
+                    sender.send(envelope(0, 1, tag))
+                received = await drain(receiver, 60, timeout=30)
+                # Quiesce briefly: retransmissions of already-acked
+                # frames must not surface as extra deliveries.
+                await asyncio.sleep(0.2)
+                extras = receiver.inbound.qsize()
+                return received, extras, registry.snapshot()
+            finally:
+                await sender.close()
+                await receiver.close()
+                await proxy.close()
+
+        received, extras, snapshot = asyncio.run(scenario())
+        assert [env.payload.phaseno for env in received] == list(range(60))
+        assert extras == 0
+        assert snapshot.counters.get("cluster.chaos.dropped", 0) > 0
+        assert snapshot.counters.get("cluster.transport.retransmits", 0) > 0
+
+    def test_connect_retries_until_server_appears(self):
+        """Backoff keeps dialing a dead address until it comes alive."""
+
+        async def scenario():
+            registry = MetricsRegistry()
+            late = Transport(1, 2, seed=1)
+            sender = Transport(
+                0, 2, registry=registry, seed=0,
+                backoff_base=0.01, backoff_cap=0.05,
+            )
+            await sender.serve()
+            # Reserve a port, then release it so the first dials fail.
+            probe = await asyncio.start_server(
+                lambda r, w: None, host="127.0.0.1", port=0
+            )
+            host, port = probe.sockets[0].getsockname()[:2]
+            probe.close()
+            await probe.wait_closed()
+            sender.connect({1: (host, port)})
+            sender.send(envelope(0, 1, 1))
+            await asyncio.sleep(0.1)  # let a few dials fail
+            await late.serve(host=host, port=port)
+            try:
+                delivered = await asyncio.wait_for(late.inbound.get(), timeout=10)
+                return delivered, registry.snapshot()
+            finally:
+                await sender.close()
+                await late.close()
+
+        delivered, snapshot = asyncio.run(scenario())
+        assert delivered.payload.phaseno == 1
+        assert snapshot.counters.get("cluster.transport.connect_failures", 0) > 0
+
+
+class TestTransportValidation:
+    def test_pid_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Transport(5, 3)
+
+    def test_send_without_link_rejected(self):
+        async def scenario():
+            a = Transport(0, 3, seed=0)
+            with pytest.raises(ConfigurationError, match="no link"):
+                a.send(envelope(0, 2, 0))
+            await a.close()
+
+        asyncio.run(scenario())

@@ -79,3 +79,36 @@ class TestWorkersPlumbing:
         monkeypatch.setenv("REPRO_WORKERS", "0")
         with pytest.raises(ConfigurationError):
             default_workers()
+
+
+class TestWorkerEnvelopeDeterminism:
+    def test_seed_chunk_resets_the_envelope_counter(self):
+        """Chunk results are independent of the inherited counter state.
+
+        Forked workers inherit the parent's envelope counter wherever it
+        happens to stand, and a reused pool worker carries the previous
+        chunk's count forward; ``_run_seed_chunk`` resets the counter so
+        trace envelope ids are a deterministic function of the chunk.
+        """
+        from repro.harness import runner as runner_module
+        from repro.net.message import Envelope, reset_envelope_sequence
+
+        def run_chunk_with_polluted_counter(pollution: int) -> int:
+            reset_envelope_sequence()
+            for _ in range(pollution):
+                Envelope(0, 0, None)  # advance the global counter
+            runner_module._POOL_RUNNER = make_runner(metrics=True)
+            try:
+                results = runner_module._run_seed_chunk([0, 1])
+            finally:
+                runner_module._POOL_RUNNER = None
+            assert all(
+                result.consensus_value is not None for result in results
+            )
+            # The counter position after the chunk is the observable:
+            # it summarises every envelope id the chunk assigned.
+            return Envelope(0, 0, None).seq
+
+        baseline = run_chunk_with_polluted_counter(0)
+        assert run_chunk_with_polluted_counter(1_000) == baseline
+        assert run_chunk_with_polluted_counter(37) == baseline
