@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from time import monotonic
 from typing import Optional, Sequence
 
 from repro.check.oracles import OracleSuite
@@ -33,7 +34,7 @@ from repro.faults.plans import (
     FaultPlan,
     SCHEDULERS,
 )
-from repro.harness.runner import ExperimentRunner
+from repro.harness.runner import ExperimentRunner, default_workers
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.results import Outcome, RunResult, Violation
 
@@ -278,6 +279,7 @@ def run_campaign(
     workers: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,
     record: bool = True,
+    deadline: Optional[float] = None,
 ) -> CampaignReport:
     """Run every plan with oracles armed; aggregate per-plan verdicts.
 
@@ -295,6 +297,13 @@ def run_campaign(
         metrics: optional registry fed campaign counters
             (``fuzz.plans``, ``fuzz.outcome.*``, ``fuzz.violations.*``).
         record: capture each run's delivery schedule for shrinking.
+        deadline: ``time.monotonic()`` timestamp after which no further
+            plans are *started*.  The campaign dispatches worker-sized
+            slices and checks the clock between them, so a time budget
+            is respected inside one plan list rather than only at its
+            end; at least one slice always runs.  Finished plans are
+            reported normally — the returned report simply covers fewer
+            plans than were passed.
     """
     plans = list(plans)
     plan_by_seed = {plan.seed: plan for plan in plans}
@@ -314,9 +323,26 @@ def run_campaign(
         require_termination=False,
         metrics=False,
     )
-    runs = runner.run_many([plan.seed for plan in plans], workers=workers)
+    seeds = [plan.seed for plan in plans]
+    if deadline is None:
+        results = runner.run_many(seeds, workers=workers).results
+    else:
+        # Slice the fan-out so the clock is consulted every
+        # `slice_size` plans, not once per call.
+        slice_size = max(
+            1, workers if workers is not None else default_workers()
+        )
+        results = []
+        for start in range(0, len(seeds), slice_size):
+            results.extend(
+                runner.run_many(
+                    seeds[start : start + slice_size], workers=workers
+                ).results
+            )
+            if monotonic() >= deadline:
+                break
     verdicts = []
-    for plan, result in zip(plans, runs.results):
+    for plan, result in zip(plans, results):
         verdicts.append(_verdict(plan, result))
     report = CampaignReport(verdicts=tuple(verdicts))
     if metrics is not None:

@@ -19,9 +19,10 @@ pieces:
   with capped exponential backoff + jitter, ack-based retransmission
   (reliable delivery over lossy links), and transport-level sender
   authentication via a peer-id handshake.
-* :mod:`repro.cluster.node` — the node actor: one
-  :class:`~repro.procs.base.Process` driven by the event loop, with a
-  ``decide()`` client API and graceful shutdown.
+* :mod:`repro.cluster.node` — the node actor: per-instance
+  :class:`~repro.procs.base.Process` cores demultiplexed on the event
+  loop, with ``decide()``/``decide_many()`` client APIs, lazy instance
+  instantiation, decided-instance GC, and graceful shutdown.
 * :mod:`repro.cluster.chaos` — a frame-aware TCP chaos proxy injecting
   delay/drop/partition/reset schedules, the live-network analogue of the
   simulator's adversarial schedulers.
@@ -32,9 +33,11 @@ pieces:
 """
 
 from repro.cluster.codec import (
+    LEGACY_WIRE_VERSION,
     WIRE_ENCODING,
     WIRE_VERSION,
     AckFrame,
+    BatchFrame,
     ByeFrame,
     CodecError,
     DataFrame,
@@ -50,15 +53,18 @@ from repro.cluster.driver import (
     ClusterReport,
     ClusterSpec,
     check_decision_records,
+    check_decision_records_by_instance,
     run_cluster,
     run_cluster_bench,
     run_cluster_sync,
+    run_multi_instance_bench,
 )
 from repro.cluster.node import ClusterNode, DecisionRecord
 from repro.cluster.transport import Transport
 
 __all__ = [
     "AckFrame",
+    "BatchFrame",
     "ByeFrame",
     "ChaosConfig",
     "ChaosProxy",
@@ -70,10 +76,12 @@ __all__ = [
     "DecisionRecord",
     "FrameReader",
     "HelloFrame",
+    "LEGACY_WIRE_VERSION",
     "Transport",
     "WIRE_ENCODING",
     "WIRE_VERSION",
     "check_decision_records",
+    "check_decision_records_by_instance",
     "decode_envelope",
     "decode_frame_bytes",
     "encode_envelope",
@@ -81,4 +89,5 @@ __all__ = [
     "run_cluster",
     "run_cluster_bench",
     "run_cluster_sync",
+    "run_multi_instance_bench",
 ]

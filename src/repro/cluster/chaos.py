@@ -38,9 +38,15 @@ from dataclasses import dataclass, field
 from time import monotonic
 from typing import Any, Optional
 
-from repro.cluster.codec import KIND_DATA, FrameReader
+from repro.cluster.codec import KIND_BATCH, KIND_DATA, FrameReader
 from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
+
+#: Frame kinds the chaos policy applies to: protocol payload traffic.
+#: Batch frames are coalesced data frames, so they are dropped/delayed
+#: as a unit — a dropped batch is a run of go-back-n gaps, which the
+#: transport recovers exactly like single-frame drops.
+_DATA_KINDS = (KIND_DATA, KIND_BATCH)
 
 
 @dataclass(frozen=True)
@@ -216,7 +222,7 @@ class ChaosProxy:
             frames.feed(chunk)
             for kind, frame_bytes in frames.frames():
                 await self._respect_partitions()
-                if kind == KIND_DATA:
+                if kind in _DATA_KINDS:
                     if self.rng.random() < config.drop_rate:
                         self._inc("cluster.chaos.dropped")
                         self._trace_event("chaos-drop")
@@ -232,7 +238,7 @@ class ChaosProxy:
                 writer.write(frame_bytes)
                 await writer.drain()
                 if (
-                    kind == KIND_DATA
+                    kind in _DATA_KINDS
                     and config.reset_every is not None
                     and forwarded_data % config.reset_every == 0
                 ):

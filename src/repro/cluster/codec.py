@@ -41,6 +41,16 @@ try:  # pragma: no cover - exercised only where msgpack is installed
     def _loads(data: bytes) -> Any:
         return msgpack.unpackb(data, raw=False)
 
+    #: Body deserialisation failures the codec translates into
+    #: :class:`CodecError`; anything else is a programming error and
+    #: propagates (see the narrow except in :func:`_decode_body`).
+    _BODY_DECODE_ERRORS: tuple = (
+        ValueError,
+        UnicodeDecodeError,
+        msgpack.exceptions.UnpackException,
+        msgpack.exceptions.ExtraData,
+    )
+
     WIRE_ENCODING = "msgpack"
 except ImportError:
     import json
@@ -53,12 +63,22 @@ except ImportError:
     def _loads(data: bytes) -> Any:
         return json.loads(data.decode("utf-8"))
 
+    #: json.JSONDecodeError is a ValueError; UnicodeDecodeError covers
+    #: non-UTF-8 bodies.
+    _BODY_DECODE_ERRORS = (ValueError, UnicodeDecodeError)
+
     WIRE_ENCODING = "json"
 
 #: Wire protocol magic bytes ("Resilient Consensus").
 MAGIC = b"RC"
 #: Wire protocol revision; bumped on any incompatible frame/body change.
-WIRE_VERSION = 1
+#: v2 added the per-instance tag on data frames and the batch frame.
+WIRE_VERSION = 2
+#: The single-instance wire revision of PR 4.  Encoders always emit
+#: :data:`WIRE_VERSION`; a reader constructed with ``accept_legacy=True``
+#: also decodes v1 frames (instance-less data frames map to instance 0),
+#: which keeps recorded v1 byte streams replayable in tests.
+LEGACY_WIRE_VERSION = 1
 #: Upper bound on one frame's body — far above any protocol message, so
 #: hitting it means a corrupt or hostile length prefix, not a big payload.
 MAX_BODY = 1 << 20
@@ -71,6 +91,11 @@ KIND_HELLO = 1
 KIND_DATA = 2
 KIND_ACK = 3
 KIND_BYE = 4
+KIND_BATCH = 5
+
+#: Kinds a v1 peer may legally emit (v1 predates batching).
+_V1_KINDS = frozenset({KIND_HELLO, KIND_DATA, KIND_ACK, KIND_BYE})
+_V2_KINDS = frozenset({KIND_HELLO, KIND_DATA, KIND_ACK, KIND_BYE, KIND_BATCH})
 
 
 class CodecError(ReproError):
@@ -100,10 +125,28 @@ class DataFrame:
     ``link_seq`` numbers the frames of one directed peer link 0, 1, 2…
     and drives the receiver's cumulative-ack/dedup reliability layer —
     it is transport state, distinct from the envelope's global ``seq``.
+    ``instance`` names the consensus instance the envelope belongs to;
+    the receiving node's demultiplexer routes it to that instance's
+    protocol core (v1 frames carry no tag and decode as instance 0).
     """
 
     link_seq: int
     envelope: Envelope
+    instance: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class BatchFrame:
+    """Several data frames coalesced into one wire write.
+
+    The transport batches whatever is queued on a link (up to a size
+    cap) so k concurrent instances cost one syscall per flush, not one
+    per envelope.  Each inner frame keeps its own ``link_seq``, so the
+    go-back-n layer is oblivious to batching: a dropped batch is just a
+    run of consecutive gaps.
+    """
+
+    frames: tuple[DataFrame, ...]
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,7 +161,7 @@ class ByeFrame:
     """Graceful close: the peer is done sending."""
 
 
-Frame = Union[HelloFrame, DataFrame, AckFrame, ByeFrame]
+Frame = Union[HelloFrame, DataFrame, BatchFrame, AckFrame, ByeFrame]
 
 
 # ---------------------------------------------------------------------- #
@@ -156,14 +199,53 @@ def decode_envelope(record: Any) -> Envelope:
 # ---------------------------------------------------------------------- #
 
 
-def encode_frame(frame: Frame) -> bytes:
-    """Serialise one frame, header included."""
+def _data_body(frame: DataFrame, version: int) -> dict:
+    """The body mapping of one data frame for the given wire revision."""
+    body = {"ls": frame.link_seq, "env": encode_envelope(frame.envelope)}
+    if version >= 2:
+        body["inst"] = frame.instance
+    elif frame.instance != 0:
+        raise CodecError(
+            f"wire v1 cannot carry instance {frame.instance}; only the "
+            "implicit instance 0 predates the multi-instance revision"
+        )
+    return body
+
+
+def _decode_data_body(record: Any) -> DataFrame:
+    if not isinstance(record, dict):
+        raise CodecError(f"data frame body is not a mapping: {record!r}")
+    return DataFrame(
+        link_seq=record["ls"],
+        envelope=decode_envelope(record["env"]),
+        # v1 bodies carry no tag: everything was instance 0.
+        instance=record.get("inst", 0),
+    )
+
+
+def encode_frame(frame: Frame, version: int = WIRE_VERSION) -> bytes:
+    """Serialise one frame, header included.
+
+    ``version`` exists for compatibility tests: passing
+    :data:`LEGACY_WIRE_VERSION` produces the v1 byte layout (no batch
+    frames, no instance tags).  Production paths always encode the
+    current revision.
+    """
+    if version not in (WIRE_VERSION, LEGACY_WIRE_VERSION):
+        raise CodecError(f"cannot encode wire version {version}")
     if isinstance(frame, HelloFrame):
         kind = KIND_HELLO
         body: Any = {"pid": frame.pid, "n": frame.n, "enc": frame.encoding}
     elif isinstance(frame, DataFrame):
         kind = KIND_DATA
-        body = {"ls": frame.link_seq, "env": encode_envelope(frame.envelope)}
+        body = _data_body(frame, version)
+    elif isinstance(frame, BatchFrame):
+        if version < 2:
+            raise CodecError("wire v1 has no batch frames")
+        if not frame.frames:
+            raise CodecError("refusing to encode an empty batch frame")
+        kind = KIND_BATCH
+        body = {"fs": [_data_body(inner, version) for inner in frame.frames]}
     elif isinstance(frame, AckFrame):
         kind = KIND_ACK
         body = {"acked": frame.acked}
@@ -175,14 +257,20 @@ def encode_frame(frame: Frame) -> bytes:
     encoded = _dumps(body)
     if len(encoded) > MAX_BODY:
         raise CodecError(f"frame body of {len(encoded)} bytes exceeds MAX_BODY")
-    return _HEADER.pack(MAGIC, WIRE_VERSION, kind, len(encoded)) + encoded
+    return _HEADER.pack(MAGIC, version, kind, len(encoded)) + encoded
 
 
 def _decode_body(kind: int, body: bytes) -> Frame:
     try:
         record = _loads(body)
-    except Exception as exc:
-        raise CodecError(f"undecodable frame body: {body[:64]!r}") from exc
+    except _BODY_DECODE_ERRORS as exc:
+        # Narrow on purpose: only genuine deserialisation failures are
+        # codec errors.  Anything else (AttributeError, RecursionError…)
+        # is a programming bug and must surface as itself.
+        raise CodecError(
+            f"undecodable frame body: {body[:64]!r} "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
     if not isinstance(record, dict):
         raise CodecError(f"frame body is not a mapping: {record!r}")
     try:
@@ -191,8 +279,15 @@ def _decode_body(kind: int, body: bytes) -> Frame:
                 pid=record["pid"], n=record["n"], encoding=record["enc"]
             )
         if kind == KIND_DATA:
-            return DataFrame(
-                link_seq=record["ls"], envelope=decode_envelope(record["env"])
+            return _decode_data_body(record)
+        if kind == KIND_BATCH:
+            inner = record["fs"]
+            if not isinstance(inner, list):
+                raise CodecError(f"malformed batch body: {record!r}")
+            if not inner:
+                raise CodecError("empty batch frame")
+            return BatchFrame(
+                frames=tuple(_decode_data_body(item) for item in inner)
             )
         if kind == KIND_ACK:
             return AckFrame(acked=record["acked"])
@@ -216,13 +311,20 @@ class FrameReader:
     as soon as a header is complete, so a bad peer is rejected before its
     body is even buffered.  :meth:`finish` flags truncation: end-of-stream
     in the middle of a frame raises :class:`CodecError`.
+
+    ``accept_legacy`` additionally admits v1 frames (the single-instance
+    revision): their data frames decode with ``instance=0``.  Live
+    transports keep the default strict mode — mixed-revision clusters
+    should fail at the first frame, not limp along — the legacy path
+    exists so recorded v1 streams stay replayable in tests.
     """
 
-    def __init__(self, raw: bool = False) -> None:
+    def __init__(self, raw: bool = False, accept_legacy: bool = False) -> None:
         self._buffer = bytearray()
         #: raw mode yields (kind, frame_bytes) without decoding bodies —
         #: the chaos proxy forwards frames it never needs to understand.
         self._raw = raw
+        self._accept_legacy = accept_legacy
 
     def feed(self, data: bytes) -> None:
         """Append received bytes."""
@@ -233,7 +335,11 @@ class FrameReader:
         magic, version, kind, length = _HEADER.unpack_from(self._buffer)
         if magic != MAGIC:
             raise CodecError(f"bad frame magic {bytes(magic)!r}")
-        if version != WIRE_VERSION:
+        if version == WIRE_VERSION:
+            allowed = _V2_KINDS
+        elif version == LEGACY_WIRE_VERSION and self._accept_legacy:
+            allowed = _V1_KINDS
+        else:
             raise CodecError(
                 f"wire version mismatch: peer speaks v{version}, "
                 f"this node speaks v{WIRE_VERSION}"
@@ -242,8 +348,8 @@ class FrameReader:
             raise CodecError(
                 f"frame body length {length} exceeds MAX_BODY ({MAX_BODY})"
             )
-        if kind not in (KIND_HELLO, KIND_DATA, KIND_ACK, KIND_BYE):
-            raise CodecError(f"unknown frame kind {kind}")
+        if kind not in allowed:
+            raise CodecError(f"unknown frame kind {kind} for wire v{version}")
         return HEADER_SIZE + length
 
     def frames(self) -> Iterator:
@@ -273,14 +379,15 @@ class FrameReader:
         return len(self._buffer)
 
 
-def decode_frame_bytes(data: bytes) -> list[Frame]:
+def decode_frame_bytes(data: bytes, accept_legacy: bool = False) -> list[Frame]:
     """Strict one-shot decode: parse ``data`` as whole frames.
 
     Raises :class:`CodecError` on any malformation, including trailing
     partial frames — the property tests use this to assert truncation is
-    always detected.
+    always detected.  ``accept_legacy`` admits v1 frames, as on
+    :class:`FrameReader`.
     """
-    reader = FrameReader()
+    reader = FrameReader(accept_legacy=accept_legacy)
     reader.feed(data)
     frames = list(reader.frames())
     reader.finish()

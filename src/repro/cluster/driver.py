@@ -9,9 +9,17 @@ a :class:`~repro.cluster.transport.Transport` — optionally behind a
 decide, and then runs the agreement/validity oracles over the collected
 :class:`~repro.cluster.node.DecisionRecord` list.
 
+Since the multi-instance revision a spec can carry ``instances > 1``:
+every node hosts that many concurrent protocol cores (one per consensus
+instance), the transport batches their frames per link, and the oracles
+are applied *per instance* — agreement across instances would be
+meaningless, agreement within each instance is the paper's theorem.
+
 ``run_cluster_bench`` repeats clusters across configurations and emits
 the ``BENCH_cluster.json`` payload (decisions/sec and p50/p99 decide
-latency per n).
+latency per n).  ``run_multi_instance_bench`` sweeps instance counts and
+compares pipelined throughput against a sequential single-instance
+baseline.
 """
 
 from __future__ import annotations
@@ -75,6 +83,14 @@ class ClusterSpec:
         seed: base seed; per-node transport jitter and per-proxy chaos
             RNGs are derived from it.
         exit_after_decide: enable the §3.3 exit device (malicious only).
+        instances: concurrent consensus instances multiplexed over the
+            same mesh (each gets its own fresh protocol ensemble).
+        batch_bytes: per-link frame-coalescing cap handed to the
+            transports (``None`` = transport default, ``0`` = disabled).
+        queue_high_water: per-peer send-queue depth at which transports
+            warn and gauge (``None`` = unbounded, the historic default).
+        instance_linger: seconds a decided instance lingers at each node
+            before GC (``None`` = node default).
     """
 
     n: int
@@ -87,8 +103,16 @@ class ClusterSpec:
     chaos: Optional[ChaosConfig] = None
     seed: int = 0
     exit_after_decide: bool = False
+    instances: int = 1
+    batch_bytes: Optional[int] = None
+    queue_high_water: Optional[int] = None
+    instance_linger: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.instances < 1:
+            raise ConfigurationError(
+                f"instances must be >= 1, got {self.instances}"
+            )
         if self.protocol not in CLUSTER_PROTOCOLS:
             raise ConfigurationError(
                 f"unknown cluster protocol {self.protocol!r}; "
@@ -203,6 +227,52 @@ def check_decision_records(
     return problems
 
 
+def check_decision_records_by_instance(
+    records: Sequence[DecisionRecord],
+    correct_pids: frozenset[int],
+    inputs: Sequence[int],
+    surviving_by_instance: Optional[Mapping[int, frozenset[int]]] = None,
+    expected_instances: Optional[Sequence[int]] = None,
+) -> list[str]:
+    """Per-instance agreement/validity/termination.
+
+    Each consensus instance is an independent execution of the paper's
+    protocol, so the oracles quantify over records *within* one
+    instance; values may legitimately differ across instances.  Every
+    problem string is prefixed with its instance id.
+
+    Args:
+        records: decisions from every instance, mixed.
+        correct_pids: pids of non-Byzantine processes (same ensemble
+            shape for every instance).
+        inputs: initial values, indexed by pid (same for every instance).
+        surviving_by_instance: instance → surviving correct pids; an
+            instance absent from the map defaults to all correct pids.
+        expected_instances: instances that must each produce a verdict;
+            defaults to the instances observed in ``records`` (so a
+            wholly-silent instance is caught only when the expectation
+            is passed explicitly).
+    """
+    by_instance: dict[int, list[DecisionRecord]] = {}
+    for record in records:
+        by_instance.setdefault(record.instance, []).append(record)
+    instances = (
+        sorted(by_instance)
+        if expected_instances is None
+        else sorted(expected_instances)
+    )
+    problems: list[str] = []
+    for instance in instances:
+        surviving = None
+        if surviving_by_instance is not None:
+            surviving = surviving_by_instance.get(instance)
+        for problem in check_decision_records(
+            by_instance.get(instance, []), correct_pids, inputs, surviving
+        ):
+            problems.append(f"instance {instance}: {problem}")
+    return problems
+
+
 # ---------------------------------------------------------------------- #
 # Driving one cluster
 # ---------------------------------------------------------------------- #
@@ -270,8 +340,12 @@ async def run_cluster(
 
     Every node gets its own server socket; when the spec carries an
     active chaos config, a :class:`ChaosProxy` fronts each node and all
-    peer traffic dials the proxy.  The run ends when every surviving
-    correct node has decided, or after ``timeout`` wall-clock seconds.
+    peer traffic dials the proxy.  With ``spec.instances > 1`` each node
+    hosts that many concurrent protocol cores (instance 0 from the shared
+    ensemble, the rest from a per-node factory building fresh but
+    identically-configured ensembles).  The run ends when every surviving
+    correct node has decided *every instance*, or after ``timeout``
+    wall-clock seconds.
     """
     processes = build_processes(spec)
     if registry is None:
@@ -293,12 +367,18 @@ async def run_cluster(
                     extra={"node": pid},
                 )
             writers[pid] = writer
+            transport_kwargs: dict = {}
+            if spec.batch_bytes is not None:
+                transport_kwargs["batch_bytes"] = spec.batch_bytes
+            if spec.queue_high_water is not None:
+                transport_kwargs["queue_high_water"] = spec.queue_high_water
             transport = Transport(
                 pid,
                 spec.n,
                 registry=registry,
                 trace=writer,
                 seed=spec.seed * 1_000_003 + pid,
+                **transport_kwargs,
             )
             transports.append(transport)
             addr = await transport.serve()
@@ -314,28 +394,36 @@ async def run_cluster(
                 dial_addrs[pid] = await proxy.serve()
             else:
                 dial_addrs[pid] = addr
+        node_kwargs: dict = {}
+        if spec.instance_linger is not None:
+            node_kwargs["instance_linger"] = spec.instance_linger
         for pid, transport in enumerate(transports):
             transport.connect(dial_addrs)
+
+            def factory(instance: int, pid: int = pid) -> Process:
+                # Fresh, identically-configured ensemble per instance;
+                # each node keeps only its own pid's process.
+                return build_processes(spec)[pid]
+
             nodes.append(
                 ClusterNode(
                     processes[pid],
                     transport,
                     registry=registry,
                     trace=writers[pid],
+                    process_factory=factory,
+                    seed=spec.seed * 9_973 + pid,
+                    **node_kwargs,
                 )
             )
         started = monotonic()
         for node in nodes:
-            await node.start()
+            await node.start(instances=spec.instances)
         deadline = started + timeout
         timed_out = False
         while True:
             pending = [
-                node
-                for node in nodes
-                if node.process.is_correct
-                and not node.process.crashed
-                and node.decision_record is None
+                node for node in nodes if node.pending_instances()
             ]
             if not pending:
                 break
@@ -345,21 +433,29 @@ async def run_cluster(
             await asyncio.sleep(0.02)
         wall = monotonic() - started
         records = tuple(
-            node.decision_record
+            record
             for node in nodes
-            if node.decision_record is not None
+            for _, record in sorted(node.decision_records.items())
         )
         correct_pids = frozenset(
             proc.pid for proc in processes if proc.is_correct
         )
-        surviving = frozenset(
-            proc.pid
-            for proc in processes
-            if proc.is_correct and not proc.crashed
-        )
+        surviving_by_instance = {
+            instance: frozenset(
+                node.pid
+                for node in nodes
+                if node.pid in correct_pids
+                and not node.instance_crashed(instance)
+            )
+            for instance in range(spec.instances)
+        }
         problems = tuple(
-            check_decision_records(
-                records, correct_pids, spec.effective_inputs, surviving
+            check_decision_records_by_instance(
+                records,
+                correct_pids,
+                spec.effective_inputs,
+                surviving_by_instance,
+                expected_instances=range(spec.instances),
             )
         )
         return ClusterReport(
@@ -454,6 +550,7 @@ async def run_cluster_bench(
                 "n": spec.n,
                 "k": spec.k,
                 "protocol": spec.protocol,
+                "instances": spec.instances,
                 "byzantine": spec.byzantine_count,
                 "byzantine_kind": (
                     spec.byzantine_kind if spec.byzantine_count else None
@@ -479,6 +576,98 @@ async def run_cluster_bench(
         )
     return {
         "benchmark": "cluster",
+        "wire_encoding": WIRE_ENCODING,
+        "ok": all_ok,
+        "series": series,
+    }
+
+
+async def run_multi_instance_bench(
+    spec: ClusterSpec,
+    instance_counts: Sequence[int] = (1, 8, 64),
+    timeout: float = 60.0,
+    registry: Optional[MetricsRegistry] = None,
+    baseline_max: int = 8,
+) -> dict:
+    """Sweep concurrent instance counts; return the multi-instance payload.
+
+    For each count the spec runs once with that many instances
+    multiplexed over one mesh, reporting aggregate decisions/sec and
+    decide-latency percentiles.  For counts up to ``baseline_max`` it
+    also runs the same workload *sequentially* — ``count`` separate
+    single-instance clusters — and reports ``speedup_vs_sequential``,
+    the headline number for the pipelined client API (the sequential
+    baseline pays mesh setup and consensus latency ``count`` times over;
+    the multiplexed run overlaps them).
+    """
+    if baseline_max < 0:
+        raise ConfigurationError(
+            f"baseline_max must be >= 0, got {baseline_max}"
+        )
+    series: list[dict] = []
+    all_ok = True
+    for count in instance_counts:
+        report = await run_cluster(
+            replace(spec, instances=count),
+            timeout=timeout,
+            registry=registry,
+        )
+        latencies = report.correct_latencies()
+        decisions = sum(
+            1 for record in report.records if record.is_correct
+        )
+        ok = report.ok
+        entry = {
+            "instances": count,
+            "n": spec.n,
+            "k": spec.k,
+            "protocol": spec.protocol,
+            "decisions": decisions,
+            "wall_seconds": report.wall_seconds,
+            "decisions_per_sec": report.decisions_per_sec(),
+            "timed_out": report.timed_out,
+            "problems": list(report.problems),
+            "decide_latency_ms": {
+                "p50": percentile(latencies, 0.50) * 1000.0,
+                "p99": percentile(latencies, 0.99) * 1000.0,
+            },
+        }
+        if 0 < count <= baseline_max:
+            seq_decisions = 0
+            seq_wall = 0.0
+            seq_ok = True
+            for index in range(count):
+                seq_report = await run_cluster(
+                    replace(
+                        spec,
+                        instances=1,
+                        seed=spec.seed + 100_000 + index,
+                    ),
+                    timeout=timeout,
+                    registry=registry,
+                )
+                seq_decisions += sum(
+                    1
+                    for record in seq_report.records
+                    if record.is_correct
+                )
+                seq_wall += seq_report.wall_seconds
+                seq_ok = seq_ok and seq_report.ok
+            seq_dps = seq_decisions / seq_wall if seq_wall > 0 else 0.0
+            entry["sequential_baseline"] = {
+                "runs": count,
+                "decisions": seq_decisions,
+                "wall_seconds": seq_wall,
+                "decisions_per_sec": seq_dps,
+            }
+            entry["speedup_vs_sequential"] = (
+                entry["decisions_per_sec"] / seq_dps if seq_dps > 0 else 0.0
+            )
+            ok = ok and seq_ok
+        all_ok = all_ok and ok
+        series.append(entry)
+    return {
+        "benchmark": "cluster-multi-instance",
         "wire_encoding": WIRE_ENCODING,
         "ok": all_ok,
         "series": series,

@@ -1,4 +1,4 @@
-"""The node actor: one protocol state machine on the event loop.
+"""The node actor: protocol state machines multiplexed on the event loop.
 
 A :class:`ClusterNode` adapts the paper's atomic step — receive one
 message, compute, send a finite set of messages — onto asyncio.  The
@@ -7,24 +7,40 @@ simulator would drive: the node calls ``start()``/``step()`` and routes
 the returned sends, nothing more, so the protocol cores are reused
 byte-for-byte by both backends.
 
+Since the multi-instance revision one node hosts many *consensus
+instances* concurrently: every inbound ``(instance, envelope)`` pair is
+demultiplexed to that instance's own protocol core, lazily instantiated
+from ``process_factory`` the first time traffic for an unknown instance
+arrives (taking its opening atomic step immediately, as the paper's
+processes do).  Instances are independent state machines sharing one
+transport mesh — exactly the composition van Renesse's protocol-core
+framing promises — and the transport batches their frames per link, so
+k instances do not multiply syscalls.
+
 Atomicity holds by construction: a single consumer task performs each
 step synchronously between two awaits, so no other coroutine observes a
 half-stepped process.  Sends to self skip the network and loop straight
 back into the inbound queue (the simulator's buffer does the same);
 remote sends go to the transport, which stamps this node's authenticated
-identity.
+identity and the instance tag.
 
-``decide()`` is the client API: it resolves with the decided value the
-moment the process writes its decision register, annotated with
-wall-clock latency measured from the node's start.
+Decided instances are garbage-collected after ``instance_linger``
+seconds: the process state is dropped, the :class:`DecisionRecord` is
+kept, and late frames for a retired instance are counted and discarded
+rather than resurrecting it.
+
+``decide()`` awaits instance 0 (the single-instance client API);
+``decide_many()`` pipelines any number of instances and resolves with
+all their decision records.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass
 from time import monotonic
-from typing import Any, Optional
+from typing import Any, Callable, Dict, Iterable, Optional
 
 from repro.cluster.transport import Transport
 from repro.errors import ConfigurationError
@@ -32,19 +48,31 @@ from repro.net.message import Envelope
 from repro.obs.metrics import MetricsRegistry
 from repro.procs.base import Process
 
+#: Builds a fresh protocol core for one consensus instance at this node.
+InstanceFactory = Callable[[int], Process]
+
+#: Default seconds a decided instance lingers before its process state
+#: is collected.  Long enough for stragglers' duplicate traffic to
+#: arrive and be deduplicated, short enough that a sustained workload
+#: does not accumulate thousands of dead state machines.
+DEFAULT_INSTANCE_LINGER = 30.0
+
 
 @dataclass(frozen=True)
 class DecisionRecord:
-    """One node's decision, as observed by the cluster runtime.
+    """One node's decision for one consensus instance.
 
     Attributes:
         pid: the deciding node.
         value: the decided value.
         phase: the protocol phase at decision time (None if untracked).
-        latency: seconds from the node's start step to the decision.
-        steps: atomic steps the process had taken when it decided.
+        latency: seconds from the instance's start step at this node to
+            the decision.
+        steps: atomic steps the instance's process had taken when it
+            decided.
         is_correct: whether the deciding process is a correct one
             (Byzantine nodes' "decisions" are excluded from the oracles).
+        instance: the consensus instance this record belongs to.
     """
 
     pid: int
@@ -53,6 +81,7 @@ class DecisionRecord:
     latency: float
     steps: int
     is_correct: bool
+    instance: int = 0
 
     def to_dict(self) -> dict:
         """JSON-ready form."""
@@ -63,19 +92,46 @@ class DecisionRecord:
             "latency": self.latency,
             "steps": self.steps,
             "is_correct": self.is_correct,
+            "instance": self.instance,
         }
 
 
+class _InstanceState:
+    """One live consensus instance at this node."""
+
+    __slots__ = ("process", "started_at", "decided_event")
+
+    def __init__(self, process: Process, started_at: float) -> None:
+        self.process = process
+        self.started_at = started_at
+        self.decided_event = asyncio.Event()
+
+
 class ClusterNode:
-    """One cluster member: a protocol process plus its transport.
+    """One cluster member: multiplexed protocol cores plus a transport.
 
     Args:
-        process: the (unchanged) protocol state machine to drive.
+        process: instance 0's (unchanged) protocol state machine.
         transport: this node's mesh endpoint; ``transport.pid`` must
             match ``process.pid``.
         registry: optional metrics registry (decide latency histogram,
-            step counters).
-        trace: optional :class:`~repro.cluster.trace.ClusterTraceWriter`.
+            step counters, per-instance decision counters).
+        trace: optional :class:`~repro.cluster.trace.ClusterTraceWriter`;
+            events carry an ``instance`` field.
+        process_factory: instance id → fresh protocol core for this
+            node's pid.  Required to host instances other than 0; the
+            factory is also what lazy instantiation uses when traffic
+            for an unknown instance arrives.
+        instance_linger: seconds a decided instance's process state is
+            kept before garbage collection.
+        seed: seed for the delivery-order RNG.  The paper's message
+            system promises no delivery order, and the simulator's
+            schedulers actively randomize it; the node does the same by
+            draining its inbound backlog and stepping envelopes in
+            random order.  Without this, transport batching makes
+            arrival order deterministic enough that a race-dependent
+            adversary (balancing / anti-majority) wins the first-(n−k)
+            race in *every* phase and livelocks the protocol.
     """
 
     def __init__(
@@ -84,68 +140,204 @@ class ClusterNode:
         transport: Transport,
         registry: Optional[MetricsRegistry] = None,
         trace: Any = None,
+        process_factory: Optional[InstanceFactory] = None,
+        instance_linger: float = DEFAULT_INSTANCE_LINGER,
+        seed: Optional[int] = None,
     ) -> None:
         if transport.pid != process.pid or transport.n != process.n:
             raise ConfigurationError(
                 f"transport is endpoint ({transport.pid}, n={transport.n}) "
                 f"but process is ({process.pid}, n={process.n})"
             )
+        if instance_linger < 0:
+            raise ConfigurationError(
+                f"instance_linger must be >= 0, got {instance_linger}"
+            )
         self.process = process
         self.transport = transport
         self.registry = registry
         self.trace = trace
-        if registry is not None:
-            process.metrics = registry
-            inner = getattr(process, "inner", None)
-            if isinstance(inner, Process):
-                inner.metrics = registry
-        # Event, not Future: asyncio.Event() binds no loop at creation,
-        # so nodes can be constructed before the driver enters asyncio.
-        self._decided = asyncio.Event()
+        self.process_factory = process_factory
+        self.instance_linger = instance_linger
+        self._bind_metrics(process)
+        self._instances: Dict[int, _InstanceState] = {}
+        #: Decision records survive instance GC.
+        self._records: Dict[int, DecisionRecord] = {}
+        #: instance → crashed-at-retire flag; membership marks the
+        #: instance as collected so late frames cannot resurrect it.
+        self._retired: Dict[int, bool] = {}
+        self._gc_handles: Dict[int, asyncio.TimerHandle] = {}
+        self._seed_used = False
+        self.rng = random.Random(seed)
         self._task: Optional[asyncio.Task] = None
-        self._started_at: Optional[float] = None
-        self.decision_record: Optional[DecisionRecord] = None
 
     @property
     def pid(self) -> int:
-        """This node's process id (same as the wrapped process's)."""
+        """This node's process id (same as the wrapped processes')."""
         return self.process.pid
+
+    # ------------------------------------------------------------------ #
+    # Instance bookkeeping
+    # ------------------------------------------------------------------ #
+
+    @property
+    def decision_record(self) -> Optional[DecisionRecord]:
+        """Instance 0's decision record (single-instance client view)."""
+        return self._records.get(0)
+
+    @property
+    def decision_records(self) -> Dict[int, DecisionRecord]:
+        """Every decision this node has observed, keyed by instance."""
+        return dict(self._records)
+
+    @property
+    def active_instances(self) -> int:
+        """Instances currently holding live process state."""
+        return len(self._instances)
+
+    def instance_process(self, instance: int) -> Optional[Process]:
+        """The live process of one instance (None once collected)."""
+        state = self._instances.get(instance)
+        return state.process if state is not None else None
+
+    def instance_crashed(self, instance: int) -> bool:
+        """Whether an instance's process had crashed (live or retired)."""
+        state = self._instances.get(instance)
+        if state is not None:
+            return state.process.crashed
+        return self._retired.get(instance, False)
+
+    def pending_instances(self) -> list[int]:
+        """Instances whose correct, uncrashed process has not decided."""
+        return [
+            instance
+            for instance, state in self._instances.items()
+            if state.process.is_correct
+            and not state.process.crashed
+            and instance not in self._records
+        ]
+
+    def _bind_metrics(self, process: Process) -> None:
+        if self.registry is not None:
+            process.metrics = self.registry
+            inner = getattr(process, "inner", None)
+            if isinstance(inner, Process):
+                inner.metrics = self.registry
+
+    def _create_instance(self, instance: int) -> _InstanceState:
+        if instance == 0 and not self._seed_used:
+            process = self.process
+            self._seed_used = True
+        else:
+            if self.process_factory is None:
+                raise ConfigurationError(
+                    f"node {self.pid} has no process_factory but was asked "
+                    f"to host instance {instance}"
+                )
+            process = self.process_factory(instance)
+            if process.pid != self.pid or process.n != self.transport.n:
+                raise ConfigurationError(
+                    f"process_factory built ({process.pid}, n={process.n}) "
+                    f"for node ({self.pid}, n={self.transport.n})"
+                )
+            self._bind_metrics(process)
+        state = _InstanceState(process, monotonic())
+        self._instances[instance] = state
+        if self.registry is not None:
+            self.registry.gauge_max(
+                "cluster.node.instances_active", len(self._instances)
+            )
+        if self.trace is not None:
+            self.trace.record("instance-start", pid=self.pid, instance=instance)
+        return state
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
 
-    async def start(self) -> None:
-        """Take the initial atomic step and begin consuming the inbound queue."""
+    async def start(self, instances: int = 1) -> None:
+        """Take the initial atomic step of ``instances`` consensus
+        instances (ids ``0 .. instances-1``) and begin consuming the
+        inbound queue."""
         if self._task is not None:
             raise ConfigurationError(f"node {self.pid} already started")
-        self._started_at = monotonic()
+        if instances < 1:
+            raise ConfigurationError(
+                f"instances must be >= 1, got {instances}"
+            )
         if self.trace is not None:
             self.trace.record("node-start", pid=self.pid)
-        if self.process.alive:
-            sends = self.process.start()
-            self.process.steps_taken += 1
-            self._after_step(sends)
+        for instance in range(instances):
+            self.start_instance(instance)
         self._task = asyncio.get_running_loop().create_task(
             self._run(), name=f"node-{self.pid}"
         )
 
+    def start_instance(self, instance: int) -> None:
+        """Open one consensus instance: create its core, take its first
+        atomic step (the opening broadcast), route the sends.
+
+        Idempotent for already-live instances; retired instances are
+        never reopened.
+        """
+        if instance in self._instances or instance in self._retired:
+            return
+        state = self._create_instance(instance)
+        if state.process.alive:
+            sends = state.process.start()
+            state.process.steps_taken += 1
+            self._after_step(instance, state, sends)
+
     async def _run(self) -> None:
-        process = self.process
         inbound = self.transport.inbound
         registry = self.registry
+        backlog: list = []
         while True:
-            envelope = await inbound.get()
+            if not backlog:
+                backlog.append(await inbound.get())
+            while True:
+                try:
+                    backlog.append(inbound.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            # Arbitrary-order delivery (see the ``seed`` arg): pick the
+            # next envelope at random from everything already here.
+            pick = self.rng.randrange(len(backlog))
+            backlog[pick], backlog[-1] = backlog[-1], backlog[pick]
+            instance, envelope = backlog.pop()
+            state = self._instances.get(instance)
+            if state is None:
+                if instance in self._retired:
+                    # Late traffic for a collected instance: the decision
+                    # stands; the frame is deliberately dropped.
+                    if registry is not None:
+                        registry.inc("cluster.node.late_frames")
+                    continue
+                if self.process_factory is None:
+                    if registry is not None:
+                        registry.inc("cluster.node.unroutable_frames")
+                    continue
+                # First sight of this instance at this node: instantiate
+                # and take the opening step, then deliver the envelope.
+                state = self._create_instance(instance)
+                if state.process.alive:
+                    opening = state.process.start()
+                    state.process.steps_taken += 1
+                    self._after_step(instance, state, opening)
+            process = state.process
             if not process.alive:
                 continue  # crashed/exited processes take no more steps
             sends = process.step(envelope)
             process.steps_taken += 1
             if registry is not None:
                 registry.inc("cluster.node.steps")
-            self._after_step(sends)
+            self._after_step(instance, state, sends)
 
     async def shutdown(self) -> None:
         """Stop stepping and close the transport (graceful, idempotent)."""
+        for handle in self._gc_handles.values():
+            handle.cancel()
+        self._gc_handles.clear()
         if self._task is not None:
             self._task.cancel()
             try:
@@ -159,11 +351,13 @@ class ClusterNode:
     # Step bookkeeping
     # ------------------------------------------------------------------ #
 
-    def _after_step(self, sends) -> None:
-        self._route(sends)
-        process = self.process
-        if process.decided and self.decision_record is None:
-            latency = monotonic() - (self._started_at or monotonic())
+    def _after_step(
+        self, instance: int, state: _InstanceState, sends
+    ) -> None:
+        self._route(instance, sends)
+        process = state.process
+        if process.decided and instance not in self._records:
+            latency = monotonic() - state.started_at
             record = DecisionRecord(
                 pid=self.pid,
                 value=process.decision.value,
@@ -171,23 +365,50 @@ class ClusterNode:
                 latency=latency,
                 steps=process.steps_taken,
                 is_correct=process.is_correct,
+                instance=instance,
             )
-            self.decision_record = record
+            self._records[instance] = record
             if self.registry is not None:
                 self.registry.inc("cluster.decisions")
+                self.registry.inc(f"cluster.decisions.i{instance}")
                 self.registry.observe(
                     "cluster.decide.latency_ms", latency * 1000.0
                 )
             if self.trace is not None:
                 self.trace.record(
-                    "decide", pid=self.pid, value=record.value,
-                    phase=record.phase,
+                    "decide", pid=self.pid, instance=instance,
+                    value=record.value, phase=record.phase,
                 )
-            self._decided.set()
+            state.decided_event.set()
+            self._schedule_gc(instance)
         if process.exited and self.trace is not None:
-            self.trace.record("exit", pid=self.pid)
+            self.trace.record("exit", pid=self.pid, instance=instance)
 
-    def _route(self, sends) -> None:
+    def _schedule_gc(self, instance: int) -> None:
+        """Arm the linger timer that collects a decided instance."""
+        if instance in self._gc_handles:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:  # pragma: no cover - defensive: no loop
+            return
+        self._gc_handles[instance] = loop.call_later(
+            self.instance_linger, self._gc_instance, instance
+        )
+
+    def _gc_instance(self, instance: int) -> None:
+        """Collect one decided instance's process state (record kept)."""
+        self._gc_handles.pop(instance, None)
+        state = self._instances.pop(instance, None)
+        if state is None:
+            return
+        self._retired[instance] = state.process.crashed
+        if self.registry is not None:
+            self.registry.inc("cluster.node.instances_gc")
+        if self.trace is not None:
+            self.trace.record("instance-gc", pid=self.pid, instance=instance)
+
+    def _route(self, instance: int, sends) -> None:
         """Deliver one step's sends: self loops back, the rest go out."""
         pid = self.pid
         for send in sends:
@@ -195,23 +416,69 @@ class ClusterNode:
                 sender=pid, recipient=send.recipient, payload=send.payload
             )
             if send.recipient == pid:
-                self.transport.inbound.put_nowait(envelope)
+                self.transport.inbound.put_nowait((instance, envelope))
             else:
-                self.transport.send(envelope)
+                self.transport.send(envelope, instance=instance)
 
     # ------------------------------------------------------------------ #
     # Client API
     # ------------------------------------------------------------------ #
 
     async def decide(self, timeout: Optional[float] = None) -> DecisionRecord:
-        """Await this node's decision.
+        """Await instance 0's decision.
 
         Raises:
             asyncio.TimeoutError: the node did not decide in time.
         """
+        return await self.decide_instance(0, timeout=timeout)
+
+    async def decide_instance(
+        self, instance: int, timeout: Optional[float] = None
+    ) -> DecisionRecord:
+        """Await one instance's decision (starting it if necessary)."""
+        record = self._records.get(instance)
+        if record is not None:
+            return record
+        self.start_instance(instance)
+        state = self._instances[instance]
         if timeout is None:
-            await self._decided.wait()
+            await state.decided_event.wait()
         else:
-            await asyncio.wait_for(self._decided.wait(), timeout=timeout)
-        assert self.decision_record is not None
-        return self.decision_record
+            await asyncio.wait_for(
+                state.decided_event.wait(), timeout=timeout
+            )
+        return self._records[instance]
+
+    async def decide_many(
+        self,
+        instances: Optional[Iterable[int]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[int, DecisionRecord]:
+        """Pipelined client API: await many instances' decisions at once.
+
+        Args:
+            instances: instance ids to await; ``None`` means every
+                instance currently live at this node.  Unknown ids are
+                started (their opening broadcasts go out immediately, so
+                k instances overlap in flight rather than running
+                back-to-back).
+            timeout: one shared wall-clock budget for the whole set.
+
+        Raises:
+            asyncio.TimeoutError: some instance did not decide in time.
+        """
+        ids = (
+            sorted(self._instances) if instances is None else list(instances)
+        )
+        for instance in ids:
+            self.start_instance(instance)
+
+        async def _gather() -> Dict[int, DecisionRecord]:
+            return {
+                instance: await self.decide_instance(instance)
+                for instance in ids
+            }
+
+        if timeout is None:
+            return await _gather()
+        return await asyncio.wait_for(_gather(), timeout=timeout)

@@ -25,14 +25,28 @@ LAN) TCP:
   outage, only latency — which is precisely the paper's "arbitrarily
   slow" envelope.
 
-Per-peer outbound queues are unbounded: the paper's model has no flow
-control, and consensus traffic is phase-bounded in practice.  Queue depth
-is exported as a gauge so runaway configurations are visible.
+Two additions serve sustained multi-instance traffic:
+
+* **Batching.**  When several envelopes are queued on one link, the
+  sender coalesces them into a single
+  :class:`~repro.cluster.codec.BatchFrame` write (bounded by
+  ``batch_bytes``), so k concurrent consensus instances cost one
+  syscall per flush instead of k.  Each inner frame keeps its own
+  per-link sequence, so the go-back-n layer never sees batching.
+* **Bounded queues.**  Per-peer outbound queues carry a configurable
+  high-water mark (``queue_high_water``).  Crossing it is logged once
+  per transport and exported as a gauge; with ``backpressure=True``,
+  :meth:`Transport.send` additionally raises
+  :class:`~repro.errors.TransportOverloadedError` so producers feel the
+  overload instead of the queue growing silently.  The default keeps
+  the paper's model (no flow control) but makes runaway configurations
+  loudly visible.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 import random
 from collections import deque
 from typing import Any, Optional
@@ -40,6 +54,7 @@ from typing import Any, Optional
 from repro.cluster.codec import (
     WIRE_ENCODING,
     AckFrame,
+    BatchFrame,
     ByeFrame,
     CodecError,
     DataFrame,
@@ -47,9 +62,17 @@ from repro.cluster.codec import (
     HelloFrame,
     encode_frame,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TransportOverloadedError
 from repro.net.message import Envelope
 from repro.obs.metrics import MetricsRegistry
+
+logger = logging.getLogger(__name__)
+
+#: Default soft cap on one coalesced batch write.  Batching stops
+#: accumulating once the encoded frames reach this many bytes, so one
+#: flush stays well under the codec's MAX_BODY while still absorbing
+#: bursts from dozens of concurrent instances.
+DEFAULT_BATCH_BYTES = 32 * 1024
 
 
 def backoff_delay(
@@ -94,8 +117,17 @@ class _PeerLink:
             self._run(), name=f"link-{self.transport.pid}->{self.peer}"
         )
 
-    def send(self, envelope: Envelope) -> None:
-        self.pending.put_nowait(envelope)
+    def send(self, instance: int, envelope: Envelope) -> None:
+        transport = self.transport
+        high_water = transport.queue_high_water
+        if high_water is not None and self.backlog >= high_water:
+            transport._note_high_water(self.peer, self.backlog)
+            if transport.backpressure:
+                raise TransportOverloadedError(
+                    f"link {transport.pid}->{self.peer} backlog "
+                    f"{self.backlog} at its high-water mark ({high_water})"
+                )
+        self.pending.put_nowait((instance, envelope))
 
     @property
     def backlog(self) -> int:
@@ -182,7 +214,7 @@ class _PeerLink:
         try:
             while not self._closed:
                 try:
-                    envelope = await asyncio.wait_for(
+                    instance, envelope = await asyncio.wait_for(
                         self.pending.get(),
                         timeout=transport.retransmit_interval,
                     )
@@ -200,22 +232,53 @@ class _PeerLink:
                             writer.write(frame_bytes)
                         await writer.drain()
                     continue
-                frame_bytes = encode_frame(
-                    DataFrame(link_seq=self.next_seq, envelope=envelope)
-                )
-                self.unacked.append((self.next_seq, frame_bytes))
-                self.next_seq += 1
-                transport._inc("cluster.transport.sent")
+                # Coalesce whatever else is already queued into one batch
+                # write, stopping at the soft byte cap: k concurrent
+                # instances flush with one syscall, not k.
+                batch: list[DataFrame] = []
+                batch_bytes = 0
+                while True:
+                    frame = DataFrame(
+                        link_seq=self.next_seq,
+                        envelope=envelope,
+                        instance=instance,
+                    )
+                    frame_bytes = encode_frame(frame)
+                    batch.append(frame)
+                    batch_bytes += len(frame_bytes)
+                    self.unacked.append((self.next_seq, frame_bytes))
+                    self.next_seq += 1
+                    transport._trace(
+                        "send",
+                        pid=transport.pid,
+                        peer=self.peer,
+                        instance=instance,
+                        payload=envelope.payload,
+                    )
+                    if (
+                        transport.batch_bytes <= 0
+                        or batch_bytes >= transport.batch_bytes
+                    ):
+                        break
+                    try:
+                        instance, envelope = self.pending.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                transport._inc("cluster.transport.sent", len(batch))
                 transport._gauge_max(
                     "cluster.transport.queue_depth", self.backlog
                 )
-                transport._trace(
-                    "send",
-                    pid=transport.pid,
-                    peer=self.peer,
-                    payload=envelope.payload,
-                )
-                writer.write(frame_bytes)
+                if len(batch) == 1:
+                    writer.write(self.unacked[-1][1])
+                else:
+                    writer.write(encode_frame(BatchFrame(frames=tuple(batch))))
+                    transport._inc("cluster.transport.batches")
+                    transport._inc(
+                        "cluster.transport.batched_frames", len(batch)
+                    )
+                    transport._gauge_max(
+                        "cluster.transport.max_batch", len(batch)
+                    )
                 await writer.drain()
                 if ack_task.done():
                     break
@@ -258,6 +321,15 @@ class Transport:
         backoff_base / backoff_cap: reconnect backoff curve parameters.
         retransmit_interval: quiet-period seconds before outstanding
             frames are retransmitted.
+        batch_bytes: soft cap on one coalesced batch write; queued
+            frames are batched until their encoded size reaches this
+            (``0`` disables batching — every frame is its own write).
+        queue_high_water: per-link backlog (queued + unacked frames)
+            above which :meth:`send` logs once, bumps the overload
+            metrics, and — with ``backpressure`` — raises.  ``None``
+            (default) keeps the queues unbounded and silent.
+        backpressure: raise :class:`TransportOverloadedError` from
+            :meth:`send` while a link sits at its high-water mark.
     """
 
     def __init__(
@@ -270,9 +342,20 @@ class Transport:
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
         retransmit_interval: float = 0.5,
+        batch_bytes: int = DEFAULT_BATCH_BYTES,
+        queue_high_water: Optional[int] = None,
+        backpressure: bool = False,
     ) -> None:
         if not 0 <= pid < n:
             raise ConfigurationError(f"pid {pid} out of range for n={n}")
+        if batch_bytes < 0:
+            raise ConfigurationError(
+                f"batch_bytes must be >= 0, got {batch_bytes}"
+            )
+        if queue_high_water is not None and queue_high_water < 1:
+            raise ConfigurationError(
+                f"queue_high_water must be >= 1, got {queue_high_water}"
+            )
         self.pid = pid
         self.n = n
         self.registry = registry
@@ -281,8 +364,13 @@ class Transport:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.retransmit_interval = retransmit_interval
-        #: Delivered envelopes, sender-authenticated, exactly once, in
-        #: per-link order.  The node actor consumes this queue.
+        self.batch_bytes = batch_bytes
+        self.queue_high_water = queue_high_water
+        self.backpressure = backpressure
+        self._high_water_logged = False
+        #: Delivered ``(instance, envelope)`` pairs, sender-authenticated,
+        #: exactly once, in per-link order.  The node actor consumes this
+        #: queue and demultiplexes on the instance id.
         self.inbound: asyncio.Queue = asyncio.Queue()
         self._links: dict[int, _PeerLink] = {}
         self._server: Optional[asyncio.AbstractServer] = None
@@ -334,11 +422,17 @@ class Transport:
     # Sending
     # ------------------------------------------------------------------ #
 
-    def send(self, envelope: Envelope) -> None:
+    def send(self, envelope: Envelope, instance: int = 0) -> None:
         """Queue one envelope for its recipient's link (non-blocking).
 
         The envelope's ``sender`` must be this node — the transport
         refuses to originate traffic on behalf of another identity.
+        ``instance`` tags the frame for the receiver's demultiplexer.
+
+        Raises:
+            TransportOverloadedError: the recipient link's backlog is at
+                its high-water mark and this transport was configured
+                with ``backpressure=True``.
         """
         if envelope.sender != self.pid:
             raise ConfigurationError(
@@ -349,7 +443,7 @@ class Transport:
             raise ConfigurationError(
                 f"no link from {self.pid} to peer {envelope.recipient}"
             )
-        link.send(envelope)
+        link.send(instance, envelope)
 
     def backlog(self) -> int:
         """Total frames queued or unacknowledged across all links."""
@@ -389,10 +483,23 @@ class Transport:
                     peer = self._handshake(frame)
                     continue
                 if isinstance(frame, DataFrame):
-                    self._receive_data(peer, frame, writer)
+                    self._receive_data(peer, frame)
+                elif isinstance(frame, BatchFrame):
+                    for inner in frame.frames:
+                        self._receive_data(peer, inner)
                 elif isinstance(frame, ByeFrame):
                     return
-                # Acks never arrive on accepted connections; ignore.
+                else:
+                    # Acks never arrive on accepted connections; ignore.
+                    continue
+                # One cumulative ack per wire frame: a whole batch is
+                # acknowledged with a single write, mirroring the
+                # sender's one-syscall flush.
+                writer.write(
+                    encode_frame(
+                        AckFrame(acked=self._rx_expected.get(peer, 0) - 1)
+                    )
+                )
             await writer.drain()
 
     def _handshake(self, frame) -> int:
@@ -416,7 +523,7 @@ class Transport:
             raise CodecError(f"handshake claims invalid pid {frame.pid}")
         return frame.pid
 
-    def _receive_data(self, peer: int, frame: DataFrame, writer) -> None:
+    def _receive_data(self, peer: int, frame: DataFrame) -> None:
         expected = self._rx_expected.get(peer, 0)
         if frame.link_seq == expected:
             self._rx_expected[peer] = expected + 1
@@ -428,10 +535,14 @@ class Transport:
                 payload=frame.envelope.payload,
                 seq=frame.envelope.seq,
             )
-            self.inbound.put_nowait(envelope)
+            self.inbound.put_nowait((frame.instance, envelope))
             self._inc("cluster.transport.received")
             self._trace(
-                "recv", pid=self.pid, peer=peer, payload=envelope.payload
+                "recv",
+                pid=self.pid,
+                peer=peer,
+                instance=frame.instance,
+                payload=envelope.payload,
             )
         elif frame.link_seq < expected:
             self._inc("cluster.transport.duplicates")
@@ -439,13 +550,26 @@ class Transport:
             # A gap: some earlier frame was dropped in flight.  Go-back-n
             # discards everything until the retransmission arrives.
             self._inc("cluster.transport.gaps")
-        writer.write(
-            encode_frame(AckFrame(acked=self._rx_expected.get(peer, 0) - 1))
-        )
 
     # ------------------------------------------------------------------ #
     # Observability plumbing
     # ------------------------------------------------------------------ #
+
+    def _note_high_water(self, peer: int, backlog: int) -> None:
+        """Record a queue high-water excursion: log once, gauge always."""
+        self._inc("cluster.transport.high_water_hits")
+        self._gauge_max("cluster.transport.queue_depth", backlog)
+        if not self._high_water_logged:
+            self._high_water_logged = True
+            logger.warning(
+                "transport %d: link to peer %d reached its send-queue "
+                "high-water mark (%d frames backlogged, limit %d)%s",
+                self.pid,
+                peer,
+                backlog,
+                self.queue_high_water,
+                "; applying backpressure" if self.backpressure else "",
+            )
 
     def _inc(self, name: str, amount: int = 1) -> None:
         if self.registry is not None:

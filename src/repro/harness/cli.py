@@ -288,6 +288,7 @@ def _metrics_check() -> int:
     """
     import tempfile
 
+    from repro.errors import ReproError
     from repro.harness.builders import build_failstop_processes
     from repro.harness.runner import ExperimentRunner
     from repro.harness.workloads import balanced_inputs
@@ -335,15 +336,24 @@ def _metrics_check() -> int:
         streamed.sink.close()
         round_tripped = list(read_jsonl(path))
         ok = round_tripped == list(reference.trace)
+        reason = ""
         try:
             audit = validate_trace(read_jsonl(path))
             ok = ok and audit.events == len(round_tripped)
             ok = ok and message_complexity(round_tripped) == message_complexity(
                 reference.trace
             )
-        except Exception:
+        except ReproError as exc:
+            # Only the library's own validation failures (malformed
+            # trace, invariant violation) mean the check failed;
+            # anything else is a harness bug and should propagate.
             ok = False
-        check("JSONL trace round-trips and validates as a legal schedule", ok)
+            reason = f" ({type(exc).__name__}: {exc})"
+        check(
+            "JSONL trace round-trips and validates as a legal schedule"
+            + reason,
+            ok,
+        )
     probe = CountingSink(active=False)
     silent = Simulation(factory(0), seed=0, sink=probe)
     result = silent.run(max_steps=300_000)
@@ -393,6 +403,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     batch = 0
     # One batch of --plans per iteration; with --time-budget we keep
     # sampling fresh batches (distinct campaign seeds) until time is up.
+    # The deadline is also threaded into run_campaign so the budget is
+    # respected *within* a batch, not just between batches.
     while True:
         plans = sample_plans(
             args.plans,
@@ -405,6 +417,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             max_steps=args.max_steps,
             workers=args.workers,
             metrics=metrics,
+            deadline=deadline,
         )
         verdicts.extend(report.verdicts)
         batch += 1
@@ -489,6 +502,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         ClusterSpec,
         run_cluster_bench,
         run_cluster_sync,
+        run_multi_instance_bench,
         write_bench_report,
     )
     from repro.errors import ConfigurationError
@@ -500,6 +514,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         return 2
     if args.rounds < 1:
         print(f"--rounds must be >= 1, got {args.rounds}")
+        return 2
+    if args.instances < 1:
+        print(f"--instances must be >= 1, got {args.instances}")
+        return 2
+    if args.batch_bytes is not None and args.batch_bytes < 0:
+        print(f"--batch-bytes must be >= 0, got {args.batch_bytes}")
         return 2
     chaos = None
     chaos_requested = (
@@ -525,6 +545,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             byzantine_kind=args.byzantine_kind,
             chaos=chaos,
             seed=args.seed,
+            instances=args.instances,
+            batch_bytes=args.batch_bytes,
         )
     except ConfigurationError as exc:
         print(f"bad cluster configuration: {exc}")
@@ -550,6 +572,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             print(f"bad --bench-ns entry: {exc}")
             return 2
         try:
+            instance_counts = tuple(
+                int(text)
+                for text in args.bench_instances.split(",")
+                if text.strip()
+            )
+        except ValueError as exc:
+            print(f"bad --bench-instances entry: {exc}")
+            return 2
+        try:
             payload = asyncio.run(
                 run_cluster_bench(
                     specs,
@@ -558,6 +589,17 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                     trace_dir=args.trace_out,
                 )
             )
+            if instance_counts:
+                payload["multi_instance"] = asyncio.run(
+                    run_multi_instance_bench(
+                        spec,
+                        instance_counts=instance_counts,
+                        timeout=args.timeout,
+                    )
+                )
+                payload["ok"] = (
+                    payload["ok"] and payload["multi_instance"]["ok"]
+                )
         except ConfigurationError as exc:
             print(f"bad cluster configuration: {exc}")
             return 2
@@ -572,6 +614,23 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 f"decide p50 {latency['p50']:.1f} ms, "
                 f"p99 {latency['p99']:.1f} ms"
             )
+            for problem in row["problems"]:
+                print(f"  PROBLEM: {problem}")
+        for row in payload.get("multi_instance", {}).get("series", ()):
+            latency = row["decide_latency_ms"]
+            line = (
+                f"instances={row['instances']:3d} "
+                f"(n={row['n']}, {row['protocol']}): "
+                f"{row['decisions']} decisions, "
+                f"{row['decisions_per_sec']:.1f}/s, "
+                f"decide p50 {latency['p50']:.1f} ms, "
+                f"p99 {latency['p99']:.1f} ms"
+            )
+            if "speedup_vs_sequential" in row:
+                line += (
+                    f", {row['speedup_vs_sequential']:.2f}x vs sequential"
+                )
+            print(line)
             for problem in row["problems"]:
                 print(f"  PROBLEM: {problem}")
         print(f"wrote {args.out}")
@@ -594,26 +653,36 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         else ""
     )
     chaos_note = " under chaos" if chaos is not None else ""
+    instance_note = (
+        f" x{spec.instances} instances" if spec.instances > 1 else ""
+    )
     print(
         f"cluster n={spec.n} k={spec.k} {spec.protocol}{byz_note}"
-        f"{chaos_note}: "
+        f"{chaos_note}{instance_note}: "
         f"{'DECIDED' if not report.timed_out else 'TIMED OUT'} "
         f"in {report.wall_seconds:.3f}s"
     )
-    for record in sorted(report.records, key=lambda r: r.pid):
+    for record in sorted(report.records, key=lambda r: (r.instance, r.pid)):
         role = "correct" if record.is_correct else "byzantine"
+        inst = f"[i{record.instance}] " if spec.instances > 1 else ""
         print(
-            f"  node {record.pid}: decided {record.value} "
+            f"  {inst}node {record.pid}: decided {record.value} "
             f"after {record.latency * 1000.0:.1f} ms "
             f"({record.steps} steps, {role})"
         )
     for problem in report.problems:
         print(f"  ORACLE VIOLATION: {problem}")
     if not report.problems and not report.timed_out:
-        print(
-            f"  oracles: agreement/validity/termination PASS "
-            f"(value {report.consensus_value()})"
-        )
+        if spec.instances > 1:
+            print(
+                f"  oracles: agreement/validity/termination PASS for all "
+                f"{spec.instances} instances"
+            )
+        else:
+            print(
+                f"  oracles: agreement/validity/termination PASS "
+                f"(value {report.consensus_value()})"
+            )
     if args.metrics:
         print()
         print(
@@ -873,6 +942,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "to exercise reconnects (default: never)",
     )
     cluster_parser.add_argument(
+        "--instances", type=int, default=1, metavar="I",
+        help="concurrent consensus instances multiplexed over the same "
+        "node mesh (default: 1)",
+    )
+    cluster_parser.add_argument(
+        "--batch-bytes", type=int, default=None, metavar="BYTES",
+        help="per-link frame-coalescing cap; 0 disables batching "
+        "(default: transport default, 32 KiB)",
+    )
+    cluster_parser.add_argument(
         "--seed", type=int, default=0, metavar="S",
         help="base seed for transport jitter and chaos schedules "
         "(default: 0)",
@@ -906,6 +985,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     cluster_parser.add_argument(
         "--rounds", type=int, default=1, metavar="R",
         help="bench rounds per configuration (default: 1)",
+    )
+    cluster_parser.add_argument(
+        "--bench-instances",
+        default="1,8,64",
+        metavar="I,...",
+        help="bench: also sweep these concurrent-instance counts on the "
+        "base --n/--k spec, with a sequential baseline for comparison; "
+        "empty string skips the sweep (default: 1,8,64)",
     )
     cluster_parser.add_argument(
         "--out",

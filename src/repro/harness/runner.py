@@ -18,6 +18,7 @@ it computes, and results are re-assembled in seed order.  ``workers=1``
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -37,6 +38,24 @@ from repro.sim.results import HaltReason, RunResult
 #: fork, which is what lets lambda/closure factories cross the process
 #: boundary without pickling.
 _POOL_RUNNER: Optional["ExperimentRunner"] = None
+
+#: Whether the fork-unavailable fallback warning has fired this process.
+_FORK_FALLBACK_WARNED = False
+
+
+def _warn_fork_unavailable() -> None:
+    """Warn (once per process) that run_many is degrading to serial."""
+    global _FORK_FALLBACK_WARNED
+    if _FORK_FALLBACK_WARNED:
+        return
+    _FORK_FALLBACK_WARNED = True
+    warnings.warn(
+        "the 'fork' multiprocessing start method is unavailable on this "
+        "platform; run_many is executing seeds serially despite "
+        "workers > 1",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def default_workers() -> int:
@@ -285,6 +304,10 @@ class ExperimentRunner:
                     for result in chunk:
                         runs.append(result)
                 parallel_done = True
+            else:
+                # The caller asked for parallelism it silently would not
+                # get; say so once, then degrade gracefully.
+                _warn_fork_unavailable()
         if not parallel_done:
             for seed in seeds:
                 runs.append(self.run_one(seed))
@@ -303,7 +326,7 @@ class ExperimentRunner:
 
         try:
             context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
+        except ValueError:  # non-POSIX platforms (or tests) without fork
             return None
         # ~4 chunks per worker balances load (runs vary in length) against
         # per-chunk dispatch overhead; chunks are contiguous so the result

@@ -1,5 +1,7 @@
 """Tests for the fault-campaign engine (repro.check.campaign)."""
 
+from time import monotonic
+
 import pytest
 
 from repro.check.campaign import run_campaign, sample_plans
@@ -70,6 +72,36 @@ class TestCampaign:
             if name.startswith("fuzz.outcome.")
         )
         assert total_outcomes == report.plans
+
+    def test_expired_deadline_stops_after_first_slice(self):
+        # Regression: --time-budget used to be checked only around the
+        # whole run_campaign call, so one long plan list blew straight
+        # through the budget.  The deadline now cuts inside the list.
+        plans = sample_plans(12, campaign_seed=13)
+        report = run_campaign(
+            plans, max_steps=20_000, workers=2, deadline=monotonic() - 1.0
+        )
+        # One worker-sized slice always runs; nothing after it starts.
+        assert report.plans == 2
+
+    def test_future_deadline_covers_every_plan(self):
+        plans = sample_plans(6, campaign_seed=13)
+        report = run_campaign(
+            plans, max_steps=20_000, workers=2, deadline=monotonic() + 3600.0
+        )
+        assert report.plans == 6
+
+    def test_deadline_slices_preserve_verdicts(self):
+        # A sliced campaign must reach the same verdicts as one batch.
+        plans = sample_plans(8, campaign_seed=7, over_bound=True)
+        whole = run_campaign(plans, max_steps=20_000)
+        sliced = run_campaign(
+            plans, max_steps=20_000, workers=2, deadline=monotonic() + 3600.0
+        )
+        assert [v.outcome for v in sliced.verdicts] == [
+            v.outcome for v in whole.verdicts
+        ]
+        assert len(sliced.violations) == len(whole.violations)
 
     def test_render_mentions_every_violation(self):
         plans = sample_plans(40, campaign_seed=7, over_bound=True)

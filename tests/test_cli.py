@@ -88,6 +88,41 @@ class TestListJson:
         assert "E1 " in capsys.readouterr().out
 
 
+class TestMetricsCheckCli:
+    def test_self_check_passes(self, capsys):
+        assert main(["metrics", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" not in out
+
+    def test_library_failures_fail_with_reason(self, capsys, monkeypatch):
+        # Regression: the trace-validation check used to swallow every
+        # exception; now only ReproError means FAIL, and the message
+        # carries the underlying reason.
+        import repro.sim.trace_tools as trace_tools
+        from repro.errors import ReproError
+
+        def bad_trace(events):
+            raise ReproError("event 3 delivered before its send")
+
+        monkeypatch.setattr(trace_tools, "validate_trace", bad_trace)
+        assert main(["metrics", "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "ReproError: event 3 delivered before its send" in out
+
+    def test_harness_bugs_propagate(self, monkeypatch):
+        import pytest
+
+        import repro.sim.trace_tools as trace_tools
+
+        def buggy(events):
+            raise RuntimeError("harness bug")
+
+        monkeypatch.setattr(trace_tools, "validate_trace", buggy)
+        with pytest.raises(RuntimeError, match="harness bug"):
+            main(["metrics", "--check"])
+
+
 class TestClusterCli:
     pytestmark = __import__("pytest").mark.cluster
 
@@ -122,11 +157,54 @@ class TestClusterCli:
         assert main([
             "cluster", "--bench", "--bench-ns", "4:1", "--rounds", "1",
             "--timeout", "45", "--seed", "2", "--out", out_path,
+            "--bench-instances", "",  # skip the sweep: fast smoke
         ]) == 0
         with open(out_path, encoding="utf-8") as handle:
             payload = json.load(handle)
         assert payload["ok"]
         assert payload["series"][0]["n"] == 4
+        assert "multi_instance" not in payload
+
+    def test_multi_instance_run(self, capsys):
+        assert main([
+            "cluster", "--protocol", "failstop", "--n", "4", "--k", "1",
+            "--instances", "3", "--timeout", "45", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "x3 instances" in out
+        assert "[i0]" in out and "[i2]" in out
+        assert "PASS for all 3 instances" in out
+
+    def test_bench_multi_instance_sweep(self, capsys, tmp_path):
+        import json
+        out_path = str(tmp_path / "BENCH_cluster.json")
+        assert main([
+            "cluster", "--bench", "--bench-ns", "4:1", "--rounds", "1",
+            "--timeout", "45", "--seed", "2", "--out", out_path,
+            "--bench-instances", "1,2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "instances=  1" in out and "instances=  2" in out
+        with open(out_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        sweep = payload["multi_instance"]
+        assert sweep["ok"]
+        assert [row["instances"] for row in sweep["series"]] == [1, 2]
+
+    def test_bad_instances_exits_2(self, capsys):
+        assert main(["cluster", "--instances", "0"]) == 2
+        assert "--instances" in capsys.readouterr().out
+
+    def test_bad_batch_bytes_exits_2(self, capsys):
+        assert main(["cluster", "--batch-bytes", "-1"]) == 2
+        assert "--batch-bytes" in capsys.readouterr().out
+
+    def test_bad_bench_instances_exits_2(self, capsys):
+        assert main([
+            "cluster", "--bench", "--bench-ns", "4:1",
+            "--bench-instances", "1,x",
+        ]) == 2
+        assert "bad --bench-instances" in capsys.readouterr().out
 
     def test_bad_configuration_exits_2(self, capsys):
         assert main([

@@ -13,12 +13,15 @@ import pytest
 from repro.cluster.codec import (
     HEADER_SIZE,
     KIND_ACK,
+    KIND_BATCH,
     KIND_DATA,
     KIND_HELLO,
+    LEGACY_WIRE_VERSION,
     MAGIC,
     MAX_BODY,
     WIRE_VERSION,
     AckFrame,
+    BatchFrame,
     ByeFrame,
     CodecError,
     DataFrame,
@@ -90,19 +93,34 @@ class TestEnvelopeRoundTrip:
                 decode_envelope(bad)
 
 
+def random_data_frame(rng: random.Random, link_seq: int) -> DataFrame:
+    return DataFrame(
+        link_seq=link_seq,
+        envelope=random_envelope(rng),
+        instance=rng.randrange(100),
+    )
+
+
 class TestFrameRoundTrip:
     def frames(self, rng: random.Random, count: int):
         out = []
         for index in range(count):
-            choice = rng.randrange(4)
+            choice = rng.randrange(5)
             if choice == 0:
                 out.append(HelloFrame(pid=rng.randrange(10), n=10))
             elif choice == 1:
-                out.append(
-                    DataFrame(link_seq=index, envelope=random_envelope(rng))
-                )
+                out.append(random_data_frame(rng, index))
             elif choice == 2:
                 out.append(AckFrame(acked=rng.randrange(1000)))
+            elif choice == 3:
+                out.append(
+                    BatchFrame(
+                        frames=tuple(
+                            random_data_frame(rng, index * 100 + offset)
+                            for offset in range(rng.randrange(1, 6))
+                        )
+                    )
+                )
             else:
                 out.append(ByeFrame())
         return out
@@ -144,6 +162,142 @@ class TestFrameRoundTrip:
         assert b"".join(frame_bytes for _, frame_bytes in raw) == blob
         for kind, frame_bytes in raw:
             assert frame_kind(frame_bytes) == kind
+
+
+class TestInstanceTagging:
+    def test_instances_round_trip(self):
+        rng = random.Random(11)
+        for _ in range(100):
+            frame = random_data_frame(rng, rng.randrange(1000))
+            (decoded,) = decode_frame_bytes(encode_frame(frame))
+            assert decoded == frame
+            assert decoded.instance == frame.instance
+
+    def test_default_instance_is_zero(self):
+        rng = random.Random(12)
+        frame = DataFrame(link_seq=0, envelope=random_envelope(rng))
+        assert frame.instance == 0
+        (decoded,) = decode_frame_bytes(encode_frame(frame))
+        assert decoded.instance == 0
+
+
+class TestBatchFrames:
+    def test_batch_round_trips_under_arbitrary_chunking(self):
+        rng = random.Random(13)
+        for _ in range(20):
+            batch = BatchFrame(
+                frames=tuple(
+                    random_data_frame(rng, seq)
+                    for seq in range(rng.randrange(1, 10))
+                )
+            )
+            blob = encode_frame(batch)
+            reader = FrameReader()
+            decoded = []
+            position = 0
+            while position < len(blob):
+                step = rng.randrange(1, 30)
+                reader.feed(blob[position : position + step])
+                decoded.extend(reader.frames())
+                position += step
+            reader.finish()
+            assert decoded == [batch]
+
+    def test_every_batch_truncation_is_detected(self):
+        rng = random.Random(14)
+        batch = BatchFrame(
+            frames=tuple(random_data_frame(rng, seq) for seq in range(3))
+        )
+        blob = encode_frame(batch)
+        for cut in range(1, len(blob)):
+            with pytest.raises(CodecError):
+                decode_frame_bytes(blob[:cut])
+
+    def test_empty_batch_rejected_on_encode(self):
+        with pytest.raises(CodecError, match="empty"):
+            encode_frame(BatchFrame(frames=()))
+
+    def test_empty_batch_rejected_on_decode(self):
+        import struct
+
+        import json
+
+        body = json.dumps({"fs": []}).encode()
+        blob = (
+            struct.pack(
+                ">2sBBI", MAGIC, WIRE_VERSION, KIND_BATCH, len(body)
+            )
+            + body
+        )
+        with pytest.raises(CodecError, match="empty"):
+            decode_frame_bytes(blob)
+
+
+class TestLegacyWireVersion:
+    """v2 readers keep a gated decode path for v1 frames."""
+
+    def v1_data_blob(self, rng: random.Random) -> bytes:
+        return encode_frame(
+            DataFrame(link_seq=5, envelope=random_envelope(rng)),
+            version=LEGACY_WIRE_VERSION,
+        )
+
+    def test_v1_frames_rejected_by_default(self):
+        blob = self.v1_data_blob(random.Random(15))
+        with pytest.raises(CodecError, match="version mismatch"):
+            decode_frame_bytes(blob)
+
+    def test_v1_frames_decode_when_legacy_accepted(self):
+        rng = random.Random(16)
+        envelope = random_envelope(rng)
+        blob = encode_frame(
+            DataFrame(link_seq=5, envelope=envelope),
+            version=LEGACY_WIRE_VERSION,
+        )
+        (decoded,) = decode_frame_bytes(blob, accept_legacy=True)
+        assert decoded.envelope == envelope
+        # v1 bodies carried no tag: everything was instance 0.
+        assert decoded.instance == 0
+
+    def test_v1_encoder_refuses_instances_and_batches(self):
+        rng = random.Random(17)
+        with pytest.raises(CodecError):
+            encode_frame(
+                DataFrame(
+                    link_seq=0, envelope=random_envelope(rng), instance=3
+                ),
+                version=LEGACY_WIRE_VERSION,
+            )
+        with pytest.raises(CodecError):
+            encode_frame(
+                BatchFrame(frames=(random_data_frame(rng, 0),)),
+                version=LEGACY_WIRE_VERSION,
+            )
+
+    def test_batch_kind_is_unknown_to_v1(self):
+        """A v1 header carrying the batch kind is rejected even with
+        the legacy gate open — batches never existed at v1."""
+        import struct
+
+        import json
+
+        body = json.dumps({"fs": []}).encode()
+        blob = (
+            struct.pack(
+                ">2sBBI", MAGIC, LEGACY_WIRE_VERSION, KIND_BATCH, len(body)
+            )
+            + body
+        )
+        with pytest.raises(CodecError, match="kind"):
+            decode_frame_bytes(blob, accept_legacy=True)
+
+    def test_unknown_version_rejected_on_encode(self):
+        rng = random.Random(18)
+        with pytest.raises(CodecError, match="version"):
+            encode_frame(
+                DataFrame(link_seq=0, envelope=random_envelope(rng)),
+                version=3,
+            )
 
 
 class TestRejection:
@@ -192,7 +346,7 @@ class TestRejection:
         with pytest.raises(CodecError, match="MAX_BODY"):
             list(reader.frames())
 
-    def test_undecodable_body_rejected(self):
+    def test_undecodable_body_rejected_with_reason(self):
         import struct
 
         body = b"\xff\xfe\xfd"
@@ -200,8 +354,23 @@ class TestRejection:
             struct.pack(">2sBBI", MAGIC, WIRE_VERSION, KIND_ACK, len(body))
             + body
         )
-        with pytest.raises(CodecError):
+        # Regression: the old blanket `except Exception` produced a bare
+        # "undecodable" message; the narrowed handler names the cause.
+        with pytest.raises(CodecError, match="Error"):
             decode_frame_bytes(blob)
+
+    def test_non_decode_errors_propagate_as_themselves(self, monkeypatch):
+        # Regression for the blanket `except Exception` in _decode_body:
+        # a programming bug inside deserialisation must surface as
+        # itself, never be laundered into a CodecError.
+        import repro.cluster.codec as codec_module
+
+        def buggy_loads(data):
+            raise AttributeError("harness bug, not a wire problem")
+
+        monkeypatch.setattr(codec_module, "_loads", buggy_loads)
+        with pytest.raises(AttributeError, match="harness bug"):
+            decode_frame_bytes(self.encoded())
 
     def test_header_size_is_stable(self):
         # The chaos proxy and transports index into raw frames; the

@@ -17,6 +17,7 @@ from repro.cluster.driver import (
     ClusterSpec,
     run_cluster_bench,
     run_cluster_sync,
+    run_multi_instance_bench,
     write_bench_report,
 )
 from repro.cluster.trace import read_cluster_trace
@@ -83,6 +84,39 @@ class TestByzantineClusterUnderChaos:
         )
         assert report.ok, report.problems
 
+    def test_multi_instance_byzantine_under_chaos(self):
+        """n=4, k=1, one live adversary, bad network — and three
+        concurrent consensus instances multiplexed over the mesh, each
+        judged by its own agreement/validity/termination oracles."""
+        report = run_cluster_sync(
+            ClusterSpec(
+                n=4,
+                k=1,
+                protocol="malicious",
+                byzantine_count=1,
+                byzantine_kind="balancing",
+                chaos=ChaosConfig(
+                    delay_min=0.001,
+                    delay_max=0.006,
+                    drop_rate=0.04,
+                    reset_every=60,
+                    seed=5,
+                ),
+                seed=23,
+                instances=3,
+            ),
+            timeout=90.0,
+        )
+        assert report.ok, report.problems
+        correct = [r for r in report.records if r.is_correct]
+        assert len(correct) == 9  # 3 correct nodes x 3 instances
+        by_instance = {}
+        for rec in correct:
+            by_instance.setdefault(rec.instance, set()).add(rec.value)
+        assert sorted(by_instance) == [0, 1, 2]
+        assert all(len(values) == 1 for values in by_instance.values())
+        assert report.metrics.counters.get("cluster.chaos.delayed", 0) > 0
+
     def test_trace_files_capture_the_run(self, tmp_path):
         trace_dir = str(tmp_path / "traces")
         report = run_cluster_sync(
@@ -139,3 +173,56 @@ class TestClusterBench:
             asyncio.run(
                 run_cluster_bench([ClusterSpec(n=4, k=1)], rounds=0)
             )
+
+    def test_trace_events_carry_instance_labels(self, tmp_path):
+        trace_dir = str(tmp_path / "traces")
+        report = run_cluster_sync(
+            ClusterSpec(n=4, k=1, protocol="failstop", instances=2, seed=9),
+            timeout=30.0,
+            trace_dir=trace_dir,
+        )
+        assert report.ok
+        events = list(
+            read_cluster_trace(os.path.join(trace_dir, "node-0.jsonl"))
+        )
+        decides = [e for e in events if e["t"] == "decide"]
+        assert sorted(e["instance"] for e in decides) == [0, 1]
+        sends = [e for e in events if e["t"] == "send"]
+        assert {e["instance"] for e in sends} == {0, 1}
+        starts = [e for e in events if e["t"] == "instance-start"]
+        assert sorted(e["instance"] for e in starts) == [0, 1]
+
+
+class TestMultiInstanceBench:
+    def test_sweep_reports_throughput_and_baseline(self):
+        payload = asyncio.run(
+            run_multi_instance_bench(
+                ClusterSpec(n=4, k=1, protocol="failstop", seed=31),
+                instance_counts=(1, 4),
+                timeout=60.0,
+            )
+        )
+        assert payload["ok"], payload
+        assert payload["benchmark"] == "cluster-multi-instance"
+        assert [row["instances"] for row in payload["series"]] == [1, 4]
+        for row in payload["series"]:
+            assert row["decisions"] == 4 * row["instances"]
+            assert row["decisions_per_sec"] > 0
+            assert row["problems"] == []
+            baseline = row["sequential_baseline"]
+            assert baseline["runs"] == row["instances"]
+            assert baseline["decisions"] == row["decisions"]
+            assert row["speedup_vs_sequential"] > 0
+
+    def test_baseline_skipped_past_the_cap(self):
+        payload = asyncio.run(
+            run_multi_instance_bench(
+                ClusterSpec(n=4, k=1, protocol="failstop", seed=37),
+                instance_counts=(2,),
+                timeout=60.0,
+                baseline_max=1,
+            )
+        )
+        (row,) = payload["series"]
+        assert "sequential_baseline" not in row
+        assert "speedup_vs_sequential" not in row

@@ -7,6 +7,7 @@ import pytest
 from repro.cluster.driver import (
     ClusterSpec,
     check_decision_records,
+    check_decision_records_by_instance,
     percentile,
     run_cluster,
     run_cluster_sync,
@@ -15,11 +16,12 @@ from repro.cluster.node import ClusterNode, DecisionRecord
 from repro.cluster.transport import Transport
 from repro.core.fail_stop import FailStopConsensus
 from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
 
 pytestmark = pytest.mark.cluster
 
 
-def record(pid, value, is_correct=True, latency=0.01) -> DecisionRecord:
+def record(pid, value, is_correct=True, latency=0.01, instance=0) -> DecisionRecord:
     return DecisionRecord(
         pid=pid,
         value=value,
@@ -27,6 +29,7 @@ def record(pid, value, is_correct=True, latency=0.01) -> DecisionRecord:
         latency=latency,
         steps=10,
         is_correct=is_correct,
+        instance=instance,
     )
 
 
@@ -68,6 +71,70 @@ class TestDecisionRecordOracles:
         )
 
 
+class TestPerInstanceOracles:
+    def test_instances_are_judged_independently(self):
+        """Different values across instances are fine; within one, not."""
+        records = [
+            record(0, 1, instance=0),
+            record(1, 1, instance=0),
+            record(0, 0, instance=1),
+            record(1, 0, instance=1),
+        ]
+        assert (
+            check_decision_records_by_instance(
+                records, frozenset({0, 1}), [1, 0]
+            )
+            == []
+        )
+
+    def test_problem_strings_carry_the_instance(self):
+        records = [
+            record(0, 1, instance=0),
+            record(1, 1, instance=0),
+            record(0, 1, instance=3),
+            record(1, 0, instance=3),
+        ]
+        problems = check_decision_records_by_instance(
+            records, frozenset({0, 1}), [1, 0]
+        )
+        assert len(problems) == 1
+        assert problems[0].startswith("instance 3:")
+        assert "agreement" in problems[0]
+
+    def test_expected_instances_catch_silent_ones(self):
+        records = [record(0, 1, instance=0), record(1, 1, instance=0)]
+        problems = check_decision_records_by_instance(
+            records,
+            frozenset({0, 1}),
+            [1, 1],
+            expected_instances=range(2),
+        )
+        assert len(problems) == 1
+        assert problems[0].startswith("instance 1:")
+        assert "termination" in problems[0]
+
+    def test_per_instance_survivors(self):
+        records = [
+            record(0, 1, instance=0),
+            record(1, 1, instance=0),
+            record(0, 1, instance=1),
+        ]
+        problems = check_decision_records_by_instance(
+            records,
+            frozenset({0, 1}),
+            [1, 1],
+            surviving_by_instance={1: frozenset({0})},
+        )
+        assert problems == []
+
+
+class TestDecisionRecordSerialization:
+    def test_to_dict_carries_the_instance(self):
+        payload = record(2, 1, instance=7).to_dict()
+        assert payload["instance"] == 7
+        assert payload["pid"] == 2
+
+
 class TestPercentile:
     def test_nearest_rank(self):
         values = [1.0, 2.0, 3.0, 4.0]
@@ -89,6 +156,10 @@ class TestClusterSpecValidation:
     def test_byzantine_on_failstop_rejected(self):
         with pytest.raises(ConfigurationError):
             ClusterSpec(n=4, k=1, protocol="failstop", byzantine_count=1)
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n=4, k=1, instances=0)
 
     def test_unknown_byzantine_kind_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -181,3 +252,169 @@ class TestLoopbackClusters:
         assert first.ok and second.ok
         assert first.consensus_value() == 1
         assert second.consensus_value() == 0
+
+
+def _mesh_pair(registry=None):
+    """Two wired transports plus fail-stop nodes with instance factories."""
+
+    async def build():
+        a_tr = Transport(0, 2, seed=0, registry=registry)
+        b_tr = Transport(1, 2, seed=1, registry=registry)
+        peers = {0: await a_tr.serve(), 1: await b_tr.serve()}
+        a_tr.connect(peers)
+        b_tr.connect(peers)
+        a = ClusterNode(
+            FailStopConsensus(0, 2, 0, 1),
+            a_tr,
+            registry=registry,
+            process_factory=lambda inst: FailStopConsensus(0, 2, 0, 1),
+            seed=0,
+        )
+        b = ClusterNode(
+            FailStopConsensus(1, 2, 0, 1),
+            b_tr,
+            registry=registry,
+            process_factory=lambda inst: FailStopConsensus(1, 2, 0, 1),
+            seed=1,
+        )
+        return a, b
+
+    return build
+
+
+class TestMultiInstanceNode:
+    def test_decide_many_pipelines_and_lazily_instantiates(self):
+        """A's decide_many opens instances B has never heard of; B's
+        demultiplexer instantiates them from its factory on first frame
+        and decides them too."""
+
+        async def scenario():
+            registry = MetricsRegistry()
+            a, b = await _mesh_pair(registry)()
+            try:
+                await a.start(instances=1)
+                await b.start(instances=1)
+                a_records = await a.decide_many([0, 1, 2], timeout=20)
+                b_records = await b.decide_many([0, 1, 2], timeout=20)
+                return a_records, b_records, b.active_instances
+            finally:
+                await a.shutdown()
+                await b.shutdown()
+
+        a_records, b_records, b_active = asyncio.run(scenario())
+        assert sorted(a_records) == [0, 1, 2]
+        assert sorted(b_records) == [0, 1, 2]
+        assert {r.value for r in a_records.values()} == {1}
+        assert all(
+            rec.instance == instance for instance, rec in a_records.items()
+        )
+        assert b_active == 3  # instances 1 and 2 were lazily created
+
+    def test_gc_retires_instances_and_drops_late_frames(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            a, b = await _mesh_pair(registry)()
+            try:
+                await a.start(instances=1)
+                await b.start(instances=1)
+                await a.decide(timeout=20)
+                before = a.active_instances
+                a._gc_instance(0)
+                after = a.active_instances
+                # A late frame for the retired instance must not
+                # resurrect it.
+                from repro.net.message import Envelope
+                from repro.core.messages import SimpleMessage
+
+                a.transport.inbound.put_nowait(
+                    (
+                        0,
+                        Envelope(
+                            sender=1,
+                            recipient=0,
+                            payload=SimpleMessage(phaseno=1, value=1),
+                        ),
+                    )
+                )
+                await asyncio.sleep(0.05)
+                return (
+                    before,
+                    after,
+                    a.decision_record,
+                    registry.snapshot(),
+                )
+            finally:
+                await a.shutdown()
+                await b.shutdown()
+
+        before, after, rec, snapshot = asyncio.run(scenario())
+        assert before == 1 and after == 0
+        assert rec is not None and rec.value == 1  # record survives GC
+        assert snapshot.counters.get("cluster.node.late_frames", 0) >= 1
+        assert snapshot.counters.get("cluster.node.instances_gc", 0) == 1
+
+    def test_instances_without_factory_rejected(self):
+        async def scenario():
+            transport = Transport(0, 2, seed=0)
+            node = ClusterNode(FailStopConsensus(0, 2, 0, 1), transport)
+            await transport.serve()
+            transport.connect({1: ("127.0.0.1", 1)})
+            try:
+                await node.start(instances=1)
+                with pytest.raises(ConfigurationError, match="factory"):
+                    node.start_instance(1)
+            finally:
+                await node.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_negative_linger_rejected(self):
+        async def scenario():
+            transport = Transport(0, 2, seed=0)
+            with pytest.raises(ConfigurationError, match="linger"):
+                ClusterNode(
+                    FailStopConsensus(0, 2, 0, 1),
+                    transport,
+                    instance_linger=-1.0,
+                )
+            await transport.close()
+
+        asyncio.run(scenario())
+
+
+class TestMultiInstanceCluster:
+    def test_failstop_instances_decide_with_clean_oracles(self):
+        registry = MetricsRegistry()
+        report = run_cluster_sync(
+            ClusterSpec(n=4, k=1, protocol="failstop", instances=3, seed=7),
+            timeout=30.0,
+            registry=registry,
+        )
+        assert report.ok
+        assert len(report.records) == 12  # 4 nodes x 3 instances
+        by_instance = {}
+        for rec in report.records:
+            by_instance.setdefault(rec.instance, set()).add(rec.value)
+        assert sorted(by_instance) == [0, 1, 2]
+        assert all(len(values) == 1 for values in by_instance.values())
+        snapshot = report.metrics
+        assert snapshot.counters["cluster.decisions"] == 12
+        assert snapshot.counters["cluster.decisions.i2"] == 4
+
+    def test_short_linger_gcs_instances_mid_run(self):
+        registry = MetricsRegistry()
+        report = run_cluster_sync(
+            ClusterSpec(
+                n=4,
+                k=1,
+                protocol="failstop",
+                instances=2,
+                instance_linger=0.0,
+                seed=8,
+            ),
+            timeout=30.0,
+            registry=registry,
+        )
+        assert report.ok
+        assert len(report.records) == 8
+        assert report.metrics.counters.get("cluster.node.instances_gc", 0) > 0

@@ -57,12 +57,18 @@ def envelope(sender: int, recipient: int, tag: int) -> Envelope:
 
 
 async def drain(transport: Transport, count: int, timeout: float = 10.0):
+    """Pull ``count`` delivered ``(instance, envelope)`` pairs."""
     received = []
     async def _pull():
         while len(received) < count:
             received.append(await transport.inbound.get())
     await asyncio.wait_for(_pull(), timeout=timeout)
     return received
+
+
+def envelopes(pairs):
+    """Just the envelopes of delivered ``(instance, envelope)`` pairs."""
+    return [env for _instance, env in pairs]
 
 
 class TestTransportPair:
@@ -85,9 +91,12 @@ class TestTransportPair:
             return received
 
         received = asyncio.run(scenario())
-        assert [env.payload.phaseno for env in received] == list(range(40))
-        assert all(env.sender == 0 for env in received)
-        assert all(env.recipient == 1 for env in received)
+        assert [env.payload.phaseno for env in envelopes(received)] == list(
+            range(40)
+        )
+        assert all(env.sender == 0 for env in envelopes(received))
+        assert all(env.recipient == 1 for env in envelopes(received))
+        assert all(instance == 0 for instance, _env in received)
 
     def test_send_refuses_foreign_identity(self):
         async def scenario():
@@ -125,7 +134,7 @@ class TestTransportPair:
             finally:
                 await b.close()
 
-        delivered = asyncio.run(scenario())
+        _instance, delivered = asyncio.run(scenario())
         assert delivered.sender == 1
         assert delivered.payload.phaseno == 7
 
@@ -172,6 +181,9 @@ class TestReliabilityUnderChaos:
                 backoff_base=0.01,
                 backoff_cap=0.05,
                 retransmit_interval=0.05,
+                # Per-frame writes: this test targets single-frame loss
+                # recovery; batching under chaos is covered separately.
+                batch_bytes=0,
             )
             await sender.serve()
             sender.connect({1: proxy_addr})
@@ -190,10 +202,56 @@ class TestReliabilityUnderChaos:
                 await proxy.close()
 
         received, extras, snapshot = asyncio.run(scenario())
-        assert [env.payload.phaseno for env in received] == list(range(60))
+        assert [env.payload.phaseno for env in envelopes(received)] == list(
+            range(60)
+        )
         assert extras == 0
         assert snapshot.counters.get("cluster.chaos.dropped", 0) > 0
         assert snapshot.counters.get("cluster.transport.retransmits", 0) > 0
+
+    def test_batched_frames_recover_from_drops(self):
+        """A dropped BatchFrame is a run of gaps; go-back-n refills it."""
+
+        async def scenario():
+            registry = MetricsRegistry()
+            receiver = Transport(1, 2, registry=registry, seed=1)
+            addr = await receiver.serve()
+            proxy = ChaosProxy(
+                addr,
+                ChaosConfig(drop_rate=0.3, seed=9),
+                registry=registry,
+            )
+            proxy_addr = await proxy.serve()
+            sender = Transport(
+                0,
+                2,
+                registry=registry,
+                seed=0,
+                backoff_base=0.01,
+                backoff_cap=0.05,
+                retransmit_interval=0.05,
+            )
+            await sender.serve()
+            sender.connect({1: proxy_addr})
+            try:
+                # Bursts with pauses: several distinct batch writes,
+                # each a potential drop for the proxy.
+                for burst in range(12):
+                    for item in range(10):
+                        sender.send(envelope(0, 1, burst * 10 + item))
+                    await asyncio.sleep(0.01)
+                received = await drain(receiver, 120, timeout=30)
+                return received, registry.snapshot()
+            finally:
+                await sender.close()
+                await receiver.close()
+                await proxy.close()
+
+        received, snapshot = asyncio.run(scenario())
+        assert [env.payload.phaseno for env in envelopes(received)] == list(
+            range(120)
+        )
+        assert snapshot.counters.get("cluster.transport.batches", 0) > 0
 
     def test_connect_retries_until_server_appears(self):
         """Backoff keeps dialing a dead address until it comes alive."""
@@ -224,9 +282,173 @@ class TestReliabilityUnderChaos:
                 await sender.close()
                 await late.close()
 
-        delivered, snapshot = asyncio.run(scenario())
+        (_instance, delivered), snapshot = asyncio.run(scenario())
         assert delivered.payload.phaseno == 1
         assert snapshot.counters.get("cluster.transport.connect_failures", 0) > 0
+
+
+class TestInstanceTagging:
+    def test_instances_travel_the_wire_and_demultiplex(self):
+        """Envelopes sent for different instances arrive tagged."""
+
+        async def scenario():
+            a = Transport(0, 2, seed=0)
+            b = Transport(1, 2, seed=1)
+            peers = {0: await a.serve(), 1: await b.serve()}
+            a.connect(peers)
+            b.connect(peers)
+            try:
+                for tag in range(30):
+                    a.send(envelope(0, 1, tag), instance=tag % 3)
+                return await drain(b, 30)
+            finally:
+                await a.close()
+                await b.close()
+
+        received = asyncio.run(scenario())
+        assert [instance for instance, _env in received] == [
+            tag % 3 for tag in range(30)
+        ]
+        assert [env.payload.phaseno for env in envelopes(received)] == list(
+            range(30)
+        )
+
+
+class TestBatching:
+    def test_queued_frames_coalesce_into_batches(self):
+        """A backlog flushed at once rides in BatchFrames, in order."""
+
+        async def scenario():
+            registry = MetricsRegistry()
+            a = Transport(0, 2, registry=registry, seed=0)
+            b = Transport(1, 2, seed=1)
+            addr_b = await b.serve()
+            await a.serve()
+            try:
+                # Queue a burst BEFORE the link can connect, so the
+                # speak loop finds a deep backlog on its first pass.
+                a.connect({1: addr_b})
+                for tag in range(200):
+                    a.send(envelope(0, 1, tag), instance=tag % 5)
+                received = await drain(b, 200, timeout=30)
+                return received, registry.snapshot()
+            finally:
+                await a.close()
+                await b.close()
+
+        received, snapshot = asyncio.run(scenario())
+        assert [env.payload.phaseno for env in envelopes(received)] == list(
+            range(200)
+        )
+        assert snapshot.counters.get("cluster.transport.batches", 0) > 0
+        assert snapshot.counters.get("cluster.transport.batched_frames", 0) > 1
+        assert snapshot.gauges.get("cluster.transport.max_batch", 0) > 1
+
+    def test_batching_disabled_still_delivers(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            a = Transport(0, 2, registry=registry, seed=0, batch_bytes=0)
+            b = Transport(1, 2, seed=1)
+            addr_b = await b.serve()
+            await a.serve()
+            try:
+                a.connect({1: addr_b})
+                for tag in range(50):
+                    a.send(envelope(0, 1, tag))
+                received = await drain(b, 50, timeout=30)
+                return received, registry.snapshot()
+            finally:
+                await a.close()
+                await b.close()
+
+        received, snapshot = asyncio.run(scenario())
+        assert [env.payload.phaseno for env in envelopes(received)] == list(
+            range(50)
+        )
+        assert snapshot.counters.get("cluster.transport.batches", 0) == 0
+
+    def test_batch_respects_byte_cap(self):
+        """A tiny cap keeps every batch at (or near) one frame."""
+
+        async def scenario():
+            registry = MetricsRegistry()
+            a = Transport(0, 2, registry=registry, seed=0, batch_bytes=1)
+            b = Transport(1, 2, seed=1)
+            addr_b = await b.serve()
+            await a.serve()
+            try:
+                a.connect({1: addr_b})
+                for tag in range(50):
+                    a.send(envelope(0, 1, tag))
+                received = await drain(b, 50, timeout=30)
+                return received, registry.snapshot()
+            finally:
+                await a.close()
+                await b.close()
+
+        received, snapshot = asyncio.run(scenario())
+        assert len(received) == 50
+        # A 1-byte cap is crossed by the very first frame, so no batch
+        # ever coalesces a second one.
+        assert snapshot.counters.get("cluster.transport.batches", 0) == 0
+
+
+class TestQueueHighWater:
+    def test_high_water_logs_once_and_gauges(self, caplog):
+        async def scenario():
+            registry = MetricsRegistry()
+            a = Transport(
+                0, 2, registry=registry, seed=0, queue_high_water=5
+            )
+            await a.serve()
+            # Dead peer address: nothing drains, the queue just grows.
+            a.connect({1: ("127.0.0.1", 1)})
+            try:
+                for tag in range(20):
+                    a.send(envelope(0, 1, tag))
+            finally:
+                await a.close()
+            return registry.snapshot()
+
+        with caplog.at_level("WARNING", logger="repro.cluster.transport"):
+            snapshot = asyncio.run(scenario())
+        hits = snapshot.counters.get("cluster.transport.high_water_hits", 0)
+        assert hits >= 15
+        assert snapshot.gauges.get("cluster.transport.queue_depth", 0) >= 5
+        overload_logs = [
+            record
+            for record in caplog.records
+            if "high-water" in record.getMessage()
+        ]
+        assert len(overload_logs) == 1  # warn once, not per send
+
+    def test_backpressure_raises_at_the_mark(self):
+        from repro.errors import TransportOverloadedError
+
+        async def scenario():
+            a = Transport(
+                0, 2, seed=0, queue_high_water=3, backpressure=True
+            )
+            await a.serve()
+            a.connect({1: ("127.0.0.1", 1)})
+            try:
+                accepted = 0
+                with pytest.raises(TransportOverloadedError):
+                    for tag in range(10):
+                        a.send(envelope(0, 1, tag))
+                        accepted += 1
+                return accepted
+            finally:
+                await a.close()
+
+        accepted = asyncio.run(scenario())
+        assert accepted == 3
+
+    def test_high_water_validation(self):
+        with pytest.raises(ConfigurationError):
+            Transport(0, 2, queue_high_water=0)
+        with pytest.raises(ConfigurationError):
+            Transport(0, 2, batch_bytes=-1)
 
 
 class TestTransportValidation:

@@ -60,6 +60,48 @@ class TestWorkersPlumbing:
         results = make_runner().run_many(SEEDS[:3], workers=1)
         assert results.count == 3
 
+    def test_forkless_platform_warns_once_and_runs_serially(self, monkeypatch):
+        # Regression: when fork is unavailable, run_many used to drop to
+        # the serial path without a word — workers=4 silently meant
+        # workers=1.  The degradation must now be announced (once).
+        import warnings
+
+        import repro.harness.runner as runner_module
+
+        def no_fork(self, seeds, nworkers):
+            return None  # what _run_chunks_parallel returns without fork
+
+        monkeypatch.setattr(
+            runner_module.ExperimentRunner, "_run_chunks_parallel", no_fork
+        )
+        monkeypatch.setattr(runner_module, "_FORK_FALLBACK_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="fork"):
+            first = make_runner().run_many(SEEDS, workers=4)
+        # Results are still correct and seed-ordered, just serial.
+        assert first.results == make_runner().run_many(SEEDS, workers=1).results
+        # The second degradation is silent: warn once per process.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            second = make_runner().run_many(SEEDS[:3], workers=4)
+        assert second.count == 3
+
+    def test_get_context_valueerror_triggers_fallback(self, monkeypatch):
+        # Exercise the real _run_chunks_parallel guard, not a stub.
+        import multiprocessing
+
+        import repro.harness.runner as runner_module
+
+        def no_fork_context(method=None):
+            raise ValueError(f"cannot find context for {method!r}")
+
+        monkeypatch.setattr(
+            multiprocessing, "get_context", no_fork_context
+        )
+        monkeypatch.setattr(runner_module, "_FORK_FALLBACK_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="serially"):
+            runs = make_runner().run_many(SEEDS[:4], workers=2)
+        assert runs.count == 4
+
     def test_invalid_workers_rejected(self):
         with pytest.raises(ConfigurationError):
             make_runner().run_many(SEEDS[:2], workers=0)
