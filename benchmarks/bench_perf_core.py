@@ -1,18 +1,20 @@
 """Core perf microbenchmark: the indexed hot path vs the pre-PR reference.
 
 Regenerates: ``BENCH_core.json`` at the repo root — steps/sec per
-scheduler (optimised vs the verbatim reference implementations) and the
-serial-vs-parallel ``run_many`` comparison — so the perf trajectory of
-the simulation core is tracked from this PR onward.  An observability
-section records metrics-off vs metrics-on steps/sec on the same
-balancing configuration so the instrumentation overhead claim is
-tracked over time as well.
+scheduler (optimised vs the verbatim reference implementations), the
+sliced-campaign parallel comparison (warm persistent pool vs cold
+re-fork-per-slice, plus vs-serial for honesty on single-core hosts),
+warm-vs-cold dispatch latency, metrics-off vs metrics-on overhead, and
+the single-run hot-path breakdown — so the perf trajectory of the
+simulation core is tracked from this PR onward.
 
 Shape asserted: the balancing-adversary n=10 configuration (the E2 cell
 whose reference implementation pays an O(total-pending) scan per step)
-must run at ≥ 3x the reference's steps/sec, the parallel runner must
-produce aggregates identical to the serial path, and enabling metrics
-must not change the executed step count.
+must run at ≥ 3x the reference's steps/sec; the warm persistent pool
+must beat re-forking per campaign slice by ≥ 3x at 4 workers while
+producing aggregates identical to the serial path; and metrics-on must
+cost ≤ 10% per step (min/min estimator) without changing the executed
+step count.
 """
 
 from __future__ import annotations
@@ -51,10 +53,40 @@ def test_perf_core(benchmark):
         "acceptance criterion: ≥ 3x steps/sec on the balancing-adversary "
         f"n=10 configuration, measured {schedulers['balancing-n10']['speedup']}x"
     )
-    assert payload["parallel"]["aggregates_identical"]
+
+    parallel = payload["parallel"]
+    assert parallel["workload"] == "sliced_campaign"
+    assert parallel["workers"] == 4
+    assert parallel["aggregates_identical"]
+    assert parallel["speedup"] >= 3.0, (
+        "acceptance criterion: warm persistent pool ≥ 3x over cold "
+        "re-fork-per-slice at 4 workers, measured "
+        f"{parallel['speedup']}x (vs serial: {parallel['speedup_vs_serial']}x "
+        f"on {parallel['cpu_count']} cpu)"
+    )
+
+    warm = payload["parallel_warm"]
+    assert warm["cold_dispatch_seconds"] > 0
+    assert warm["warm_dispatch_seconds"] > 0
+    assert warm["speedup"] > 1.0, (
+        "warm dispatch must beat a fresh fork, measured "
+        f"{warm['speedup']}x"
+    )
 
     observability = payload["observability"]
     assert observability["steps_identical"] is True
     assert observability["steps"] > 0
     assert observability["off_steps_per_sec"] > 0
     assert observability["on_steps_per_sec"] > 0
+    assert observability["metrics_on_overhead_pct"] <= 10.0, (
+        "acceptance criterion: metrics-on tax ≤ 10% per step, measured "
+        f"{observability['metrics_on_overhead_pct']}% "
+        f"(median-paired {observability['median_paired_overhead_pct']}%)"
+    )
+
+    hot_path = payload["hot_path"]
+    assert hot_path["kernel_step_ns"] > 0
+    assert hot_path["scheduler_pick_ns"] > 0
+    assert hot_path["protocol_step_ns"] > 0
+    assert hot_path["pool_dispatch_cold_seconds"] > 0
+    assert hot_path["pool_dispatch_warm_seconds"] > 0

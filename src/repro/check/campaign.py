@@ -324,23 +324,29 @@ def run_campaign(
         metrics=False,
     )
     seeds = [plan.seed for plan in plans]
-    if deadline is None:
-        results = runner.run_many(seeds, workers=workers).results
-    else:
-        # Slice the fan-out so the clock is consulted every
-        # `slice_size` plans, not once per call.
-        slice_size = max(
-            1, workers if workers is not None else default_workers()
-        )
-        results = []
-        for start in range(0, len(seeds), slice_size):
-            results.extend(
-                runner.run_many(
-                    seeds[start : start + slice_size], workers=workers
-                ).results
+    # The runner's pool stays warm across the sliced fan-out below (the
+    # whole point of the persistent pool); the try/finally reaps it when
+    # the campaign is done instead of leaving that to GC timing.
+    try:
+        if deadline is None:
+            results = runner.run_many(seeds, workers=workers).results
+        else:
+            # Slice the fan-out so the clock is consulted every
+            # `slice_size` plans, not once per call.
+            slice_size = max(
+                1, workers if workers is not None else default_workers()
             )
-            if monotonic() >= deadline:
-                break
+            results = []
+            for start in range(0, len(seeds), slice_size):
+                results.extend(
+                    runner.run_many(
+                        seeds[start : start + slice_size], workers=workers
+                    ).results
+                )
+                if monotonic() >= deadline:
+                    break
+    finally:
+        runner.close()
     verdicts = []
     for plan, result in zip(plans, results):
         verdicts.append(_verdict(plan, result))

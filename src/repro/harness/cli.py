@@ -176,12 +176,36 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.harness.perfbench import run_core_benchmark, write_report
+    from repro.harness.perfbench import (
+        check_gates,
+        run_core_benchmark,
+        write_report,
+    )
 
     if args.workers is not None and args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}")
         return 2
-    payload = run_core_benchmark(smoke=args.smoke, workers=args.workers)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            payload = run_core_benchmark(
+                smoke=args.smoke, workers=args.workers
+            )
+        finally:
+            profiler.disable()
+        stats_path = os.path.join(
+            os.path.dirname(os.path.abspath(args.out)), "profile.pstats"
+        )
+        profiler.dump_stats(stats_path)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        print(f"wrote {stats_path} (inspect with `python -m pstats`)")
+    else:
+        payload = run_core_benchmark(smoke=args.smoke, workers=args.workers)
     write_report(payload, args.out)
     for name, row in payload["schedulers"].items():
         print(
@@ -191,10 +215,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     par = payload["parallel"]
     print(
-        f"{'parallel':16s} {par['seeds']} seeds x {par['workers']} workers: "
-        f"{par['speedup']:.2f}x vs serial, aggregates identical"
+        f"{'parallel':16s} {par['seeds']} seeds x {par['workers']} workers "
+        f"(campaign slices of {par['slice_size']}): warm pool "
+        f"{par['speedup']:.2f}x vs cold re-fork, "
+        f"{par['speedup_vs_serial']:.2f}x vs serial "
+        f"({par['cpu_count']} cpu), aggregates identical"
+    )
+    obs = payload["observability"]
+    print(
+        f"{'observability':16s} metrics on: +{obs['metrics_on_overhead_pct']}% "
+        f"(median paired +{obs['median_paired_overhead_pct']}%), "
+        "steps identical"
     )
     print(f"wrote {args.out}")
+    if args.check_gates:
+        failures = check_gates(payload)
+        for failure in failures:
+            print(f"perf gate FAILED: {failure}")
+        if failures:
+            return 1
+        print("perf gates passed")
     return 0
 
 
@@ -249,6 +289,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         try:
             runs = runner.run_many(seeds, workers=args.workers)
         finally:
+            runner.close()
             if args.trace_out is not None:
                 collector.finish()
         merged = runs.merged_metrics()
@@ -310,7 +351,8 @@ def _metrics_check() -> int:
 
     seeds = list(range(6))
     serial = ExperimentRunner(factory, metrics=True).run_many(seeds, workers=1)
-    parallel = ExperimentRunner(factory, metrics=True).run_many(seeds, workers=2)
+    with ExperimentRunner(factory, metrics=True) as parallel_runner:
+        parallel = parallel_runner.run_many(seeds, workers=2)
     check(
         "parallel run_many metrics identical to serial (per seed + merged)",
         [r.metrics.stable() for r in serial.results]
@@ -768,6 +810,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         metavar="N",
         help="worker count for the parallel-runner section (default: 4)",
+    )
+    bench_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the benchmark run with cProfile and write "
+        "profile.pstats next to --out",
+    )
+    bench_parser.add_argument(
+        "--check-gates",
+        action="store_true",
+        help="exit non-zero if loose perf tripwires fail "
+        "(warm pool slower than cold, metrics overhead > 20%%)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
     metrics_parser = subparsers.add_parser(

@@ -9,24 +9,47 @@ schedulers replay the reference bit-identically, both sides of every
 comparison execute the *same* steps; the ratio is pure implementation
 speed, and the benchmark asserts the step counts match.
 
-A second section times ``run_many`` serial vs parallel on one seed list
-and checks the aggregates are identical (the parallel runner's
-determinism contract).  A third section times the same configuration
-with metrics collection off vs on, so the observability layer's
-overhead claim (metrics-off within noise of the uninstrumented PR 1
-core, metrics-on a bounded tax) is tracked over time; because metrics
-never touch the RNG, both sides must execute identical step counts.
-Results are emitted as JSON (``BENCH_core.json`` by default) so the
-perf trajectory is tracked from PR to PR.
+The ``parallel`` section times the workload the persistent worker pool
+was built for: a *sliced campaign* — many small ``run_many`` batches
+against one configuration, the fuzzer's actual access pattern.  It runs
+the campaign three ways: serial, "cold" (a fresh runner, and therefore a
+fresh pool fork, per slice — the behaviour of the old per-call pool),
+and "warm" (one runner whose pool is forked once and reused).
+``speedup`` is cold/warm — the dispatch cost the persistent pool
+removed.  ``speedup_vs_serial`` and ``cpu_count`` are reported
+alongside: on a single-core host (this project's reference hardware)
+wall-clock gains over serial are physically capped at ~1x, so the
+honest headline for the pool is fork-amortisation, not parallel scaling.
 
-``--smoke`` shrinks every configuration to seconds-scale totals; it
-exists to keep the benchmark code exercised by the tier-1 suite.
+The ``observability`` section times the kernel with metrics off vs on.
+Timing noise on shared/virtualised hosts is strictly additive (steal
+time inflates, never deflates), so the overhead estimate is the ratio
+of per-side *minima* over repeated interleaved reps of CPU time
+(``time.process_time``), the classic ``timeit`` estimator; the median
+of adjacent paired ratios is reported alongside as a drift-robust
+cross-check.  Metrics never touch the RNG, so both sides must execute
+identical step counts — asserted on every rep, which doubles as a
+determinism regression test for the instrumentation.
+
+``parallel_warm`` isolates single-batch dispatch latency: the same
+``run_many`` call on a cold runner (pool fork included) vs a warm one
+(queue round-trip only).  ``hot_path`` is the single-run microbench:
+metrics-off kernel ns/step, plus per-call scheduler-pick/protocol-step/
+routing costs extracted from the sampled timer cells of one observed
+run.
+
+Results are emitted as JSON (``BENCH_core.json`` by default) so the
+perf trajectory is tracked from PR to PR.  ``--smoke`` shrinks every
+configuration to seconds-scale totals; it exists to keep the benchmark
+code exercised by the tier-1 suite, and doubles as the CI perf-smoke
+gate (see ``--check-gates``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import statistics
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
@@ -195,60 +218,176 @@ def bench_schedulers(smoke: bool = False) -> dict:
     return out
 
 
+# --------------------------------------------------------------------- #
+# Parallel runner: sliced campaign, cold vs warm pool
+# --------------------------------------------------------------------- #
+
+
+def _campaign_slices(seeds: list[int], slice_size: int) -> list[list[int]]:
+    return [
+        seeds[i : i + slice_size] for i in range(0, len(seeds), slice_size)
+    ]
+
+
 def bench_parallel(smoke: bool = False, workers: Optional[int] = None) -> dict:
-    """Time run_many serial vs parallel; assert identical aggregates."""
+    """Time a sliced run_many campaign: serial vs cold-pool vs warm-pool.
+
+    Asserts all three variants produce identical result sequences (the
+    parallel runner's determinism contract).  See the module docstring
+    for why ``speedup`` is defined as cold/warm on this hardware.
+    """
     if smoke:
-        n, k, seeds = 5, 2, list(range(4))
+        n, k, seeds, reps = 5, 2, list(range(8)), 2
     else:
-        n, k, seeds = 7, 3, list(range(24))
+        n, k, seeds, reps = 7, 3, list(range(24)), 3
     if workers is None or workers < 2:
         workers = 4
+    slice_size = workers
+    slices = _campaign_slices(seeds, slice_size)
 
     def make_runner() -> ExperimentRunner:
         return ExperimentRunner(
             lambda seed: build_failstop_processes(n, k, balanced_inputs(n))
         )
 
-    started = time.perf_counter()
-    serial = make_runner().run_many(seeds, workers=1)
-    serial_seconds = time.perf_counter() - started
-    started = time.perf_counter()
-    parallel = make_runner().run_many(seeds, workers=workers)
-    parallel_seconds = time.perf_counter() - started
-    identical = serial.results == parallel.results
-    if not identical:
-        raise AssertionError(
-            "parallel run_many diverged from serial on the same seeds"
-        )
-    return {
-        "seeds": len(seeds),
-        "workers": workers,
-        "serial_seconds": round(serial_seconds, 6),
-        "parallel_seconds": round(parallel_seconds, 6),
-        "serial_steps_per_sec": round(
-            sum(r.steps for r in serial.results) / serial_seconds, 1
-        ),
-        "parallel_steps_per_sec": round(
-            sum(r.steps for r in parallel.results) / parallel_seconds, 1
-        ),
-        "speedup": round(serial_seconds / parallel_seconds, 2),
-        "aggregates_identical": identical,
+    def run_serial() -> tuple[float, list]:
+        runner = make_runner()
+        results: list = []
+        started = time.perf_counter()
+        for chunk in slices:
+            results.extend(runner.run_many(chunk, workers=1).results)
+        return time.perf_counter() - started, results
+
+    def run_cold() -> tuple[float, list]:
+        # A fresh runner per slice forks a fresh pool per slice and
+        # reaps it afterwards — the old per-call pool's cost model.
+        results = []
+        started = time.perf_counter()
+        for chunk in slices:
+            with make_runner() as runner:
+                results.extend(
+                    runner.run_many(chunk, workers=workers).results
+                )
+        return time.perf_counter() - started, results
+
+    def run_warm() -> tuple[float, list]:
+        # One runner for the whole campaign: the pool forks once, on a
+        # warm-up slice *outside* the timed window, so this measures the
+        # steady state a long campaign actually runs in.
+        with make_runner() as runner:
+            runner.run_many(slices[0], workers=workers)
+            results = []
+            started = time.perf_counter()
+            for chunk in slices:
+                results.extend(
+                    runner.run_many(chunk, workers=workers).results
+                )
+            return time.perf_counter() - started, results
+
+    serial_seconds, serial_results = run_serial()
+    variants = {
+        "serial": [serial_seconds],
+        "cold": [],
+        "warm": [],
     }
+    for _ in range(reps):
+        cold_seconds, cold_results = run_cold()
+        warm_seconds, warm_results = run_warm()
+        if cold_results != serial_results or warm_results != serial_results:
+            raise AssertionError(
+                "parallel run_many diverged from serial on the same seeds"
+            )
+        variants["cold"].append(cold_seconds)
+        variants["warm"].append(warm_seconds)
+        variants["serial"].append(run_serial()[0])
+    serial_min = min(variants["serial"])
+    cold_min = min(variants["cold"])
+    warm_min = min(variants["warm"])
+    total_steps = sum(r.steps for r in serial_results)
+    return {
+        "workload": "sliced_campaign",
+        "seeds": len(seeds),
+        "slice_size": slice_size,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_min, 6),
+        "cold_pool_seconds": round(cold_min, 6),
+        "warm_pool_seconds": round(warm_min, 6),
+        "serial_steps_per_sec": round(total_steps / serial_min, 1),
+        "parallel_steps_per_sec": round(total_steps / warm_min, 1),
+        # The dispatch cost the persistent pool removed: per-slice pool
+        # forks (cold) vs queue round-trips on a forked-once pool (warm).
+        "speedup": round(cold_min / warm_min, 2),
+        "speedup_vs_serial": round(serial_min / warm_min, 2),
+        "aggregates_identical": True,
+    }
+
+
+def bench_parallel_warm(
+    smoke: bool = False, workers: Optional[int] = None
+) -> dict:
+    """Single-batch dispatch latency: cold (fork + dispatch) vs warm.
+
+    One ``run_many`` call over ``workers`` seeds, timed on a fresh
+    runner (the pool fork is paid inside the call) and on a warmed-up
+    runner (queue round-trip only).
+    """
+    if workers is None or workers < 2:
+        workers = 4
+    n, k = (4, 1) if smoke else (5, 2)
+    seeds = list(range(workers * 2))
+    cold_reps, warm_reps = (2, 4) if smoke else (4, 8)
+
+    def make_runner() -> ExperimentRunner:
+        return ExperimentRunner(
+            lambda seed: build_failstop_processes(n, k, balanced_inputs(n))
+        )
+
+    cold_times = []
+    for _ in range(cold_reps):
+        with make_runner() as runner:
+            started = time.perf_counter()
+            runner.run_many(seeds, workers=workers)
+            cold_times.append(time.perf_counter() - started)
+    warm_times = []
+    with make_runner() as runner:
+        runner.run_many(seeds, workers=workers)  # fork + calibrate
+        for _ in range(warm_reps):
+            started = time.perf_counter()
+            runner.run_many(seeds, workers=workers)
+            warm_times.append(time.perf_counter() - started)
+    cold = min(cold_times)
+    warm = min(warm_times)
+    return {
+        "workers": workers,
+        "seeds_per_batch": len(seeds),
+        "cold_dispatch_seconds": round(cold, 6),
+        "warm_dispatch_seconds": round(warm, 6),
+        "fork_overhead_seconds": round(cold - warm, 6),
+        "speedup": round(cold / warm, 2),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Observability overhead
+# --------------------------------------------------------------------- #
 
 
 def bench_observability(smoke: bool = False) -> dict:
     """Time the kernel with metrics collection off vs on.
 
-    Runs the balancing-adversary configuration both ways and reports
-    steps/sec for each side plus the metrics-on overhead percentage.
-    Metrics are read-only with respect to the execution, so the step
-    counts must match exactly — asserted here, which doubles as a
-    determinism regression test for the instrumentation.
+    Interleaved off/on reps of the balancing-adversary configuration,
+    timed with ``time.process_time`` (host steal and scheduler noise on
+    wall clocks swamp a ~10% effect on shared hardware).  The headline
+    ``metrics_on_overhead_pct`` is the ratio of per-side minima — noise
+    is strictly additive, so the minimum is the best estimate of each
+    side's true cost — with the median of adjacent paired ratios as a
+    drift-robust cross-check.  Step counts must match on every rep.
     """
     if smoke:
-        n, k, seeds, max_steps = 5, 1, [1], 300
+        n, k, seeds, max_steps, pairs = 5, 1, [1], 2_000, 5
     else:
-        n, k, seeds, max_steps = 10, 3, [1983, 1984], 12_000
+        n, k, seeds, max_steps, pairs = 10, 3, [1983, 1984], 12_000, 25
 
     def time_side(metrics: bool) -> tuple[int, float]:
         total_steps, total_seconds = 0, 0.0
@@ -256,43 +395,135 @@ def bench_observability(smoke: bool = False) -> dict:
             simulation = Simulation(
                 _malicious(n, k), seed=seed, metrics=metrics
             )
-            started = time.perf_counter()
+            started = time.process_time()
             result = simulation.run(max_steps=max_steps)
-            total_seconds += time.perf_counter() - started
+            total_seconds += time.process_time() - started
             total_steps += result.steps
         return total_steps, total_seconds
 
-    off_steps, off_seconds = time_side(False)
-    on_steps, on_seconds = time_side(True)
-    if off_steps != on_steps:
-        raise AssertionError(
-            f"metrics changed the execution: {off_steps} steps with metrics "
-            f"off but {on_steps} with metrics on"
-        )
+    time_side(False)
+    time_side(True)  # warm-up both paths (allocator, caches, imports)
+    off_times, on_times, ratios = [], [], []
+    steps = None
+    for _ in range(pairs):
+        off_steps, off_seconds = time_side(False)
+        on_steps, on_seconds = time_side(True)
+        if off_steps != on_steps:
+            raise AssertionError(
+                f"metrics changed the execution: {off_steps} steps with "
+                f"metrics off but {on_steps} with metrics on"
+            )
+        steps = off_steps
+        off_times.append(off_seconds)
+        on_times.append(on_seconds)
+        ratios.append(on_seconds / off_seconds)
+    off_min = min(off_times)
+    on_min = min(on_times)
     return {
-        "steps": off_steps,
-        "off_seconds": round(off_seconds, 6),
-        "on_seconds": round(on_seconds, 6),
-        "off_steps_per_sec": round(off_steps / off_seconds, 1),
-        "on_steps_per_sec": round(on_steps / on_seconds, 1),
-        "metrics_on_overhead_pct": round(
-            (on_seconds / off_seconds - 1.0) * 100.0, 2
+        "steps": steps,
+        "pairs": pairs,
+        "off_seconds": round(off_min, 6),
+        "on_seconds": round(on_min, 6),
+        "off_steps_per_sec": round(steps / off_min, 1),
+        "on_steps_per_sec": round(steps / on_min, 1),
+        "metrics_on_overhead_pct": round((on_min / off_min - 1.0) * 100.0, 2),
+        "median_paired_overhead_pct": round(
+            (statistics.median(ratios) - 1.0) * 100.0, 2
         ),
         "steps_identical": True,
     }
+
+
+# --------------------------------------------------------------------- #
+# Single-run hot path
+# --------------------------------------------------------------------- #
+
+
+def bench_hot_path(
+    smoke: bool = False, dispatch: Optional[dict] = None
+) -> dict:
+    """Single-run hot-path costs: kernel step, scheduler pick, routing.
+
+    ``kernel_step_ns`` times the metrics-off loop end to end (min over
+    reps of CPU time).  The per-call pick/step/routing costs come from
+    the sampled timer cells of one metrics-on run — the same numbers
+    the observability layer reports, surfaced here as ns/call.  When
+    the ``parallel_warm`` section already measured pool dispatch, its
+    cold/warm latencies are echoed under ``pool_dispatch_*`` so the
+    hot-path story lives in one place.
+    """
+    if smoke:
+        n, k, seed, max_steps, reps = 5, 1, 1, 2_000, 3
+    else:
+        n, k, seed, max_steps, reps = 10, 3, 1983, 12_000, 5
+
+    times = []
+    steps = 0
+    for _ in range(reps):
+        simulation = Simulation(_malicious(n, k), seed=seed)
+        started = time.process_time()
+        result = simulation.run(max_steps=max_steps)
+        times.append(time.process_time() - started)
+        steps = result.steps
+    kernel_step_ns = min(times) / steps * 1e9
+
+    observed = Simulation(_malicious(n, k), seed=seed, metrics=True)
+    snapshot = observed.run(max_steps=max_steps).metrics
+    out = {
+        "steps": steps,
+        "kernel_step_ns": round(kernel_step_ns, 1),
+    }
+    for name, key in (
+        ("time.scheduler_pick", "scheduler_pick_ns"),
+        ("time.protocol_step", "protocol_step_ns"),
+        ("time.routing", "routing_ns"),
+    ):
+        timer = snapshot.timers.get(name)
+        if timer is not None and timer.calls:
+            out[key] = round(timer.seconds / timer.calls * 1e9, 1)
+    if dispatch is not None:
+        out["pool_dispatch_cold_seconds"] = dispatch["cold_dispatch_seconds"]
+        out["pool_dispatch_warm_seconds"] = dispatch["warm_dispatch_seconds"]
+    return out
 
 
 def run_core_benchmark(
     smoke: bool = False, workers: Optional[int] = None
 ) -> dict:
     """Run the whole core benchmark; return the JSON-ready payload."""
+    parallel_warm = bench_parallel_warm(smoke=smoke, workers=workers)
     return {
         "benchmark": "core",
         "mode": "smoke" if smoke else "full",
         "schedulers": bench_schedulers(smoke=smoke),
         "parallel": bench_parallel(smoke=smoke, workers=workers),
+        "parallel_warm": parallel_warm,
         "observability": bench_observability(smoke=smoke),
+        "hot_path": bench_hot_path(smoke=smoke, dispatch=parallel_warm),
     }
+
+
+def check_gates(payload: dict) -> list[str]:
+    """CI tripwires: return a list of human-readable gate failures.
+
+    Thresholds are deliberately loose (the tight targets live in
+    ``benchmarks/bench_perf_core.py``, run on reference hardware): the
+    warm pool must not be *slower* than re-forking, and metrics must not
+    cost more than 20%.
+    """
+    failures = []
+    speedup = payload["parallel"]["speedup"]
+    if speedup < 1.0:
+        failures.append(
+            f"parallel.speedup {speedup} < 1.0 — warm pool slower than "
+            "re-forking per slice"
+        )
+    overhead = payload["observability"]["metrics_on_overhead_pct"]
+    if overhead > 20:
+        failures.append(
+            f"observability.metrics_on_overhead_pct {overhead} > 20"
+        )
+    return failures
 
 
 def write_report(payload: dict, path: str) -> None:

@@ -31,6 +31,7 @@ a plain element-wise sum.
 from __future__ import annotations
 
 from bisect import bisect_left
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional
 
@@ -144,9 +145,20 @@ class TimerSnapshot:
 
 
 class Histogram:
-    """Mutable fixed-bucket histogram (the registry's working form)."""
+    """Mutable fixed-bucket histogram (the registry's working form).
 
-    __slots__ = ("bounds", "counts", "count", "total", "minimum", "maximum")
+    Two recording paths: :meth:`observe` buckets immediately;
+    ``pending.append`` (a plain C-level list append, the cheapest thing
+    Python can do per event) defers bucketing until the histogram is
+    read.  The kernel's per-step distributions use the deferred path —
+    values are bucketed in recorded order at snapshot time, so the
+    resulting snapshot is identical as long as deferred values are
+    exact (integers, as every kernel site's are).
+    """
+
+    __slots__ = (
+        "bounds", "counts", "count", "total", "minimum", "maximum", "pending",
+    )
 
     def __init__(self, bounds: Iterable[float] = DEFAULT_BOUNDS) -> None:
         self.bounds: tuple[float, ...] = tuple(bounds)
@@ -164,6 +176,8 @@ class Histogram:
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        #: Deferred observations, bucketed on flush (hot-path append target).
+        self.pending: list = []
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -175,8 +189,39 @@ class Histogram:
         if self.maximum is None or value > self.maximum:
             self.maximum = value
 
+    def flush(self) -> None:
+        """Bucket every deferred ``pending`` observation.
+
+        Large batches collapse through a :class:`collections.Counter`
+        first — the kernel's per-step samples draw from a few dozen
+        distinct small integers, so one bisect per *distinct* value
+        replaces one per observation.  Bucketing is order-independent
+        and ``total`` uses ``sum(pending)`` either way, so the snapshot
+        is identical to the element-at-a-time path.
+        """
+        pending = self.pending
+        if not pending:
+            return
+        self.pending = []
+        counts = self.counts
+        bounds = self.bounds
+        if len(pending) > 64:
+            for value, multiplicity in Counter(pending).items():
+                counts[bisect_left(bounds, value)] += multiplicity
+        else:
+            for value in pending:
+                counts[bisect_left(bounds, value)] += 1
+        self.count += len(pending)
+        self.total += sum(pending)
+        low, high = min(pending), max(pending)
+        if self.minimum is None or low < self.minimum:
+            self.minimum = low
+        if self.maximum is None or high > self.maximum:
+            self.maximum = high
+
     def snapshot(self) -> HistogramSnapshot:
         """Freeze the current state into an immutable snapshot."""
+        self.flush()
         return HistogramSnapshot(
             bounds=self.bounds,
             counts=tuple(self.counts),
@@ -292,15 +337,36 @@ def merge_snapshots(
 class MetricsRegistry:
     """Mutable collection point for one run's metrics.
 
-    Instrumentation sites call :meth:`inc` / :meth:`observe` /
-    :meth:`gauge_max` / :meth:`time_add` directly; all are dictionary
-    upserts with no intermediate allocation beyond the metric's own
-    storage.  ``enabled`` exists so a registry can be handed around and
-    switched off wholesale; the hot paths in the kernel avoid even that
-    check by holding ``None`` instead of a disabled registry.
+    Two write paths coexist:
+
+    * **Named (cold) path** — :meth:`inc` / :meth:`observe` /
+      :meth:`gauge_max` / :meth:`time_add`: dictionary upserts keyed by
+      the metric name, fine for sites that fire rarely.
+    * **Slot (hot) path** — a site registers a counter once with
+      :meth:`counter_slot` and receives an integer index into the
+      preallocated :attr:`slots` list; per-event updates are then
+      ``registry.slots[i] += 1`` with no string hashing or dict lookup.
+      :meth:`histogram_handle` and :meth:`timer_cell` are the analogous
+      resolve-once handles for histograms and timers.  Slots are created
+      lazily at a site's *first* event, so a run's snapshot contains
+      exactly the names the named path would have created — snapshots
+      are byte-identical between the two implementations, and the
+      name→value dict is only materialised at :meth:`snapshot` time.
+
+    ``enabled`` exists so a registry can be handed around and switched
+    off wholesale; the hot paths in the kernel avoid even that check by
+    holding ``None`` instead of a disabled registry.
     """
 
-    __slots__ = ("enabled", "_counters", "_gauges", "_histograms", "_timers")
+    __slots__ = (
+        "enabled",
+        "_counters",
+        "_gauges",
+        "_histograms",
+        "_timers",
+        "slots",
+        "_slot_index",
+    )
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
@@ -308,6 +374,9 @@ class MetricsRegistry:
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, Histogram] = {}
         self._timers: dict[str, list] = {}  # name -> [calls, seconds]
+        #: Array-backed counter values; index via :meth:`counter_slot`.
+        self.slots: list[int] = []
+        self._slot_index: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -317,6 +386,47 @@ class MetricsRegistry:
         """Add ``amount`` to counter ``name`` (creating it at 0)."""
         counters = self._counters
         counters[name] = counters.get(name, 0) + amount
+
+    def counter_slot(self, name: str) -> int:
+        """Register counter ``name`` as an array slot; return its index.
+
+        Idempotent: the same name always maps to the same index for the
+        life of the registry.  Hot sites call this once (at their first
+        event) and afterwards update ``registry.slots[index]`` directly.
+        A name should go through either the slot path or :meth:`inc`,
+        not both; if both are used anyway, :meth:`snapshot` sums them.
+        """
+        index = self._slot_index.get(name)
+        if index is None:
+            index = self._slot_index[name] = len(self.slots)
+            self.slots.append(0)
+        return index
+
+    def histogram_handle(
+        self, name: str, bounds: Iterable[float] = DEFAULT_BOUNDS
+    ) -> Histogram:
+        """The mutable histogram for ``name`` (created on first call).
+
+        Hot sites keep the returned object and call ``handle.observe``
+        (or batch values through ``handle.pending.append``) without
+        re-hashing the name per observation.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(bounds)
+        return histogram
+
+    def timer_cell(self, name: str) -> list:
+        """The mutable ``[calls, seconds]`` cell for timer ``name``.
+
+        Hot sites keep the cell and update it in place
+        (``cell[0] += 1; cell[1] += dt``) instead of paying
+        :meth:`time_add`'s name lookup per span.
+        """
+        cell = self._timers.get(name)
+        if cell is None:
+            cell = self._timers[name] = [0, 0.0]
+        return cell
 
     def gauge_set(self, name: str, value: float) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
@@ -365,13 +475,34 @@ class MetricsRegistry:
     # ------------------------------------------------------------------ #
 
     def counter(self, name: str) -> int:
-        """Current value of counter ``name`` (0 if never incremented)."""
-        return self._counters.get(name, 0)
+        """Current value of counter ``name`` (0 if never incremented).
+
+        Sums the named and slot-backed paths, so readers need not know
+        which write path an instrumentation site uses.
+        """
+        value = self._counters.get(name, 0)
+        index = self._slot_index.get(name)
+        if index is not None:
+            value += self.slots[index]
+        return value
 
     def snapshot(self) -> MetricsSnapshot:
-        """Freeze the current state into an immutable snapshot."""
+        """Freeze the current state into an immutable snapshot.
+
+        This is where slot-backed counters materialise into the
+        name→value dict — once per run, instead of per increment.
+        """
+        slots = self.slots
+        counters = {
+            name: slots[index] for name, index in self._slot_index.items()
+        }
+        for name, value in self._counters.items():
+            if name in counters:
+                counters[name] += value
+            else:
+                counters[name] = value
         return MetricsSnapshot(
-            counters=dict(self._counters),
+            counters=counters,
             gauges=dict(self._gauges),
             histograms={
                 name: hist.snapshot()
@@ -384,11 +515,20 @@ class MetricsRegistry:
         )
 
     def reset(self) -> None:
-        """Drop all recorded metrics (the registry stays usable)."""
+        """Drop all recorded metrics (the registry stays usable).
+
+        Slot *registrations* are dropped too, so indices (and histogram
+        handles / timer cells) resolved before a reset are stale; hot
+        sites cache handles per registry identity and no site resets a
+        registry mid-run, but direct users of the slot API must
+        re-resolve after calling this.
+        """
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
         self._timers.clear()
+        self.slots.clear()
+        self._slot_index.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

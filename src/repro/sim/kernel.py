@@ -33,6 +33,7 @@ names are constructed.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from time import perf_counter
 from typing import Callable, Optional, Sequence, Union
 
@@ -56,6 +57,11 @@ from repro.sim.results import HaltReason, RunResult, Violation
 
 #: Halting predicate signature: inspects the simulation, returns True to stop.
 HaltPredicate = Callable[["Simulation"], bool]
+
+#: Sentinel for "this process's decision register has no ``_value`` slot"
+#: (faulty test doubles, exotic registers): the step loops then fall back
+#: to the property-based transition check instead of the raw slot read.
+_NO_VALUE = object()
 
 
 class StepObserver:
@@ -205,6 +211,19 @@ class Simulation:
             self.metrics = None
         self._crash_noted: set[int] = set()
         self._started = False
+        # Resolve-once metric handles (see repro.obs.metrics): counter
+        # slots and timer cells are resolved lazily at a site's first
+        # event — exactly when the old per-name path would have created
+        # the metric — then updated by integer index / in place, so the
+        # per-step cost is a list write instead of string building plus
+        # dict hashing.  Caches live on the simulation (one registry per
+        # simulation) and persist across resumable run() calls.
+        self._phi_slot: Optional[int] = None
+        self._phase_slots: dict[int, int] = {}
+        self._delivered_slots: dict[type, int] = {}
+        self._sent_slots: dict[type, int] = {}
+        self._routing_cell: Optional[list] = None
+        self._step_cell: Optional[list] = None
         # Cached AliveView handed to the scheduler each step; rebuilt only
         # when some process's alive status actually changes.
         self._alive_cache: Optional[AliveView] = None
@@ -308,7 +327,6 @@ class Simulation:
             raise ConfigurationError(f"max_steps must be positive, got {max_steps}")
         halt = halt_when if halt_when is not None else self.halt_when
         deadline = self.steps + max_steps
-        halt_reason = HaltReason.MAX_STEPS
         if not self._started:
             self._take_start_steps()
             self._started = True
@@ -316,62 +334,72 @@ class Simulation:
         if observer is not None and observer.violation is not None:
             return self._build_result(HaltReason.ORACLE_VIOLATION)
         if halt(self):
-            halt_reason = HaltReason.GOAL_REACHED
-            return self._build_result(halt_reason)
+            return self._build_result(HaltReason.GOAL_REACHED)
+        # The step loop is specialised on whether metrics are attached:
+        # the plain loop carries zero instrumentation (not even dead
+        # ``is not None`` branches), the observed loop batches its
+        # bookkeeping through resolve-once slot handles.  Both bodies
+        # execute the identical protocol step sequence — scheduling and
+        # RNG use never differ — so a seed computes the same run either
+        # way; the bench suite asserts exactly that.
         obs = self.metrics
+        if obs is None:
+            halt_reason = self._run_plain(deadline, halt)
+        else:
+            halt_reason = self._run_observed(deadline, halt)
+            obs.gauge_set("kernel.steps_total", self.steps)
+            obs.gauge_max(
+                "messages.pending_at_halt", self.system.pending_total()
+            )
+        return self._build_result(halt_reason)
+
+    def _run_plain(self, deadline: int, halt: HaltPredicate) -> HaltReason:
+        """The metrics-off step loop (keep in lockstep with _run_observed).
+
+        A process chosen by the scheduler is alive, hence neither exited
+        nor crashed, so the only post-step transitions possible are a
+        fresh decision (the raw register value changes) or leaving the
+        protocol (``alive`` flips).  Both loops use that to guard the
+        :meth:`_note_transitions` call — and to read the decision
+        register directly instead of through the two chained properties
+        of ``process.decided``, which dominate the per-step cost at this
+        loop's scale.
+        """
+        halt_reason = HaltReason.MAX_STEPS
         record = self._record
         sink = self._sink
+        observer = self.observer
+        system = self.system
+        scheduler = self.scheduler
+        processes = self.processes
+        rng = self.rng
         while self.steps < deadline:
-            if obs is not None:
-                obs.observe(
-                    "scheduler.pending_messages", self.system.pending_total()
-                )
-                obs.observe(
-                    "scheduler.candidate_processes", self.system.mail_count()
-                )
-                picked_at = perf_counter()
-                decision = self.scheduler.choose(
-                    self.system, self._alive_view(), self.rng
-                )
-                obs.time_add("time.scheduler_pick", perf_counter() - picked_at)
-            else:
-                decision = self.scheduler.choose(
-                    self.system, self._alive_view(), self.rng
-                )
+            decision = scheduler.choose(system, self._alive_view(), rng)
             if decision is None:
                 halt_reason = HaltReason.QUIESCENT
                 break
             pid, envelope = decision
-            process = self.processes[pid]
+            process = processes[pid]
             if not process.alive:
                 raise ConfigurationError(
                     f"scheduler selected non-live process {pid}"
                 )
-            was_decided = process.decided
-            was_exited = process.exited
+            try:
+                was_value = process.decision._value
+                was_decided = False
+            except AttributeError:
+                was_value = _NO_VALUE
+                was_decided = process.decided
             if envelope is not None:
-                self.system.note_delivered(envelope)
+                system.note_delivered(envelope)
                 if record:
                     sink.emit(
                         DeliverEvent(
                             self.steps, pid, envelope.sender, envelope.payload
                         )
                     )
-                if obs is not None:
-                    obs.inc(
-                        "messages.delivered."
-                        + type(envelope.payload).__name__
-                    )
-            else:
-                if record:
-                    sink.emit(PhiEvent(self.steps, pid))
-                if obs is not None:
-                    obs.inc("kernel.phi_steps")
-            if obs is not None:
-                obs.inc(
-                    f"kernel.steps.phase.{getattr(process, 'phaseno', 0)}"
-                )
-                stepped_at = perf_counter()
+            elif record:
+                sink.emit(PhiEvent(self.steps, pid))
             if observer is None:
                 sends = process.step(envelope)
             else:
@@ -380,13 +408,23 @@ class Simulation:
                 except InvariantViolation as exc:
                     observer.note_invariant_exception(self, pid, exc)
                     sends = ()
-            if obs is not None:
-                obs.time_add("time.protocol_step", perf_counter() - stepped_at)
             process.steps_taken += 1
             self._route(pid, sends)
-            self._note_transitions(process, was_decided, was_exited)
-            if not process.alive:
-                self._alive_cache = None
+            if was_value is _NO_VALUE:
+                self._note_transitions(process, was_decided, False)
+                if not process.alive:
+                    self._alive_cache = None
+            else:
+                try:
+                    changed = process.decision._value is not was_value
+                except AttributeError:
+                    changed = True
+                if changed or not process.alive:
+                    self._note_transitions(
+                        process, was_value is not None, False
+                    )
+                    if not process.alive:
+                        self._alive_cache = None
             if observer is not None:
                 observer.on_step(self, pid, envelope, sends)
                 if observer.violation is not None:
@@ -397,12 +435,248 @@ class Simulation:
             if halt(self):
                 halt_reason = HaltReason.GOAL_REACHED
                 break
-        if obs is not None:
-            obs.gauge_set("kernel.steps_total", self.steps)
-            obs.gauge_max(
-                "messages.pending_at_halt", self.system.pending_total()
-            )
-        return self._build_result(halt_reason)
+        return halt_reason
+
+    def _run_observed(self, deadline: int, halt: HaltPredicate) -> HaltReason:
+        """The metrics-on step loop (keep in lockstep with _run_plain).
+
+        Deterministic data (counters, histogram samples) is recorded on
+        every step through array slots and buffered appends.  Wall-clock
+        timers are different: their values are stripped from stable
+        snapshots (see :meth:`MetricsSnapshot.stable`), so the loop
+        records *call counts exactly* but samples the ``perf_counter``
+        spans on a deterministic 1-in-16 cadence and scales the sampled
+        seconds by the true event/sample ratio at loop exit.  Sampling
+        is keyed to the iteration counter, never the RNG, so metrics-on
+        and metrics-off runs of a seed stay step-identical.
+        """
+        obs = self.metrics
+        halt_reason = HaltReason.MAX_STEPS
+        record = self._record
+        sink = self._sink
+        observer = self.observer
+        system = self.system
+        scheduler = self.scheduler
+        processes = self.processes
+        rng = self.rng
+        perf = perf_counter
+        # Resolve-once handles for the per-step sites.  The loop body
+        # always executes at least once when reached, so eager
+        # resolution here creates exactly the metrics the first
+        # iteration of the per-name implementation created.
+        # ``_with_mail`` is mutated in place (never rebound), so one
+        # binding outlives the loop; ``_pending`` is an int and must be
+        # re-read from the system each step.
+        with_mail = system._with_mail
+        length = len
+        pending_append = obs.histogram_handle(
+            "scheduler.pending_messages"
+        ).pending.append
+        candidates_append = obs.histogram_handle(
+            "scheduler.candidate_processes"
+        ).pending.append
+        pick_cell = obs.timer_cell("time.scheduler_pick")
+        routing_cell = self._routing_cell
+        if routing_cell is None:
+            routing_cell = self._routing_cell = obs.timer_cell("time.routing")
+        entry_steps = self.steps
+        # Per-call capture buffers: the loop appends raw observations
+        # (delivered payload classes — None marks a φ step — and phase
+        # numbers) and the ``finally`` block folds them into registry
+        # slots via one Counter pass per buffer.  Buffered values are
+        # plain ints and existing classes — nothing GC-tracked is
+        # allocated per step (a consolidated per-step record tuple
+        # measured ~2x worse: 24k young container allocations per run
+        # is pure gen0 churn).  The fold runs even when a step raises —
+        # the buffers already hold the failing step's captures — which
+        # is exactly what the eager per-step implementation recorded on
+        # that path.
+        delivered_classes: list = []
+        delivered_append = delivered_classes.append
+        step_phases: list = []
+        phase_append = step_phases.append
+        sent_types: list = []
+        sent_append = sent_types.append
+        route_calls = 0
+        tick = 0
+        samples = 0
+        pick_seconds = 0.0
+        step_seconds = 0.0
+        route_seconds = 0.0
+        try:
+            while self.steps < deadline:
+                pending_append(system._pending)
+                candidates_append(length(with_mail))
+                tick += 1
+                # Phase 1 of the cycle (not 0) so 1-step runs still sample.
+                sampled = (tick & 15) == 1
+                if sampled:
+                    picked_at = perf()
+                    decision = scheduler.choose(system, self._alive_view(), rng)
+                    pick_seconds += perf() - picked_at
+                else:
+                    decision = scheduler.choose(system, self._alive_view(), rng)
+                if decision is None:
+                    halt_reason = HaltReason.QUIESCENT
+                    break
+                pid, envelope = decision
+                process = processes[pid]
+                if not process.alive:
+                    raise ConfigurationError(
+                        f"scheduler selected non-live process {pid}"
+                    )
+                try:
+                    was_value = process.decision._value
+                    was_decided = False
+                except AttributeError:
+                    was_value = _NO_VALUE
+                    was_decided = process.decided
+                if envelope is not None:
+                    system.note_delivered(envelope)
+                    if record:
+                        sink.emit(
+                            DeliverEvent(
+                                self.steps, pid, envelope.sender, envelope.payload
+                            )
+                        )
+                    delivered_append(envelope.payload.__class__)
+                else:
+                    if record:
+                        sink.emit(PhiEvent(self.steps, pid))
+                    delivered_append(None)
+                try:
+                    phase_append(process.phaseno)
+                except AttributeError:
+                    phase_append(0)
+                if sampled:
+                    samples += 1
+                    stepped_at = perf()
+                    if observer is None:
+                        sends = process.step(envelope)
+                    else:
+                        try:
+                            sends = process.step(envelope)
+                        except InvariantViolation as exc:
+                            observer.note_invariant_exception(self, pid, exc)
+                            sends = ()
+                    routed_at = perf()
+                    step_seconds += routed_at - stepped_at
+                    process.steps_taken += 1
+                    route_calls += 1
+                    for send in sends:
+                        system.send(pid, send.recipient, send.payload)
+                        sent_append(send.payload.__class__)
+                        if record:
+                            sink.emit(
+                                SendEvent(
+                                    self.steps, pid, send.recipient, send.payload
+                                )
+                            )
+                    route_seconds += perf() - routed_at
+                else:
+                    if observer is None:
+                        sends = process.step(envelope)
+                    else:
+                        try:
+                            sends = process.step(envelope)
+                        except InvariantViolation as exc:
+                            observer.note_invariant_exception(self, pid, exc)
+                            sends = ()
+                    process.steps_taken += 1
+                    # Inlined _route (sends loop + exact call count); the
+                    # wall-clock span is sampled in the branch above.
+                    route_calls += 1
+                    for send in sends:
+                        system.send(pid, send.recipient, send.payload)
+                        sent_append(send.payload.__class__)
+                        if record:
+                            sink.emit(
+                                SendEvent(
+                                    self.steps, pid, send.recipient, send.payload
+                                )
+                            )
+                if was_value is _NO_VALUE:
+                    self._note_transitions(process, was_decided, False)
+                    if not process.alive:
+                        self._alive_cache = None
+                else:
+                    try:
+                        changed = process.decision._value is not was_value
+                    except AttributeError:
+                        changed = True
+                    if changed or not process.alive:
+                        self._note_transitions(
+                            process, was_value is not None, False
+                        )
+                        if not process.alive:
+                            self._alive_cache = None
+                if observer is not None:
+                    observer.on_step(self, pid, envelope, sends)
+                    if observer.violation is not None:
+                        self.steps += 1
+                        halt_reason = HaltReason.ORACLE_VIOLATION
+                        break
+                self.steps += 1
+                if halt(self):
+                    halt_reason = HaltReason.GOAL_REACHED
+                    break
+        finally:
+            # Fold the buffered captures, exact call counts, and scaled
+            # sampled spans into the registry, once per run() instead of
+            # per step.  Runs on the exception path too (see above).
+            slots = obs.slots
+            pick_cell[0] += tick
+            routing_cell[0] += route_calls
+            if delivered_classes:
+                delivered_slots = self._delivered_slots
+                for payload_type, multiplicity in Counter(
+                    delivered_classes
+                ).items():
+                    if payload_type is None:
+                        phi_slot = self._phi_slot
+                        if phi_slot is None:
+                            phi_slot = self._phi_slot = obs.counter_slot(
+                                "kernel.phi_steps"
+                            )
+                        slots[phi_slot] += multiplicity
+                        continue
+                    index = delivered_slots.get(payload_type)
+                    if index is None:
+                        index = delivered_slots[payload_type] = obs.counter_slot(
+                            "messages.delivered." + payload_type.__name__
+                        )
+                    slots[index] += multiplicity
+                phase_slots = self._phase_slots
+                for phase, multiplicity in Counter(step_phases).items():
+                    index = phase_slots.get(phase)
+                    if index is None:
+                        index = phase_slots[phase] = obs.counter_slot(
+                            f"kernel.steps.phase.{phase}"
+                        )
+                    slots[index] += multiplicity
+            if sent_types:
+                sent_slots = self._sent_slots
+                for payload_type, multiplicity in Counter(sent_types).items():
+                    index = sent_slots.get(payload_type)
+                    if index is None:
+                        index = sent_slots[payload_type] = obs.counter_slot(
+                            "messages.sent." + payload_type.__name__
+                        )
+                    slots[index] += multiplicity
+            steps_run = self.steps - entry_steps
+            if steps_run:
+                step_cell = self._step_cell
+                if step_cell is None:
+                    step_cell = self._step_cell = obs.timer_cell(
+                        "time.protocol_step"
+                    )
+                step_cell[0] += steps_run
+                if samples:
+                    step_scale = steps_run / samples
+                    pick_cell[1] += pick_seconds * (tick / samples)
+                    step_cell[1] += step_seconds * step_scale
+                    routing_cell[1] += route_seconds * step_scale
+        return halt_reason
 
     def replace_process(self, pid: int, replacement: Process) -> None:
         """Swap in a new process object for ``pid`` and run its start step.
@@ -470,20 +744,37 @@ class Simulation:
         self._alive_cache = None
 
     def _route(self, sender_pid: int, sends) -> None:
-        """Deliver an atomic step's sends into the message system."""
+        """Deliver an atomic step's sends into the message system.
+
+        With metrics attached, the ``time.routing`` cell's call count is
+        kept exact here; the wall-clock spans are sampled by the
+        observed step loop (see :meth:`_run_observed`), so this path
+        pays no ``perf_counter`` calls of its own.
+        """
         obs = self.metrics
         if obs is not None:
-            routed_at = perf_counter()
+            cell = self._routing_cell
+            if cell is None:
+                cell = self._routing_cell = obs.timer_cell("time.routing")
+            cell[0] += 1
+            slots = obs.slots
+            sent_slots = self._sent_slots
+            record = self._record
             for send in sends:
                 self.system.send(sender_pid, send.recipient, send.payload)
-                obs.inc("messages.sent." + type(send.payload).__name__)
-                if self._record:
+                payload_type = type(send.payload)
+                index = sent_slots.get(payload_type)
+                if index is None:
+                    index = sent_slots[payload_type] = obs.counter_slot(
+                        "messages.sent." + payload_type.__name__
+                    )
+                slots[index] += 1
+                if record:
                     self._sink.emit(
                         SendEvent(
                             self.steps, sender_pid, send.recipient, send.payload
                         )
                     )
-            obs.time_add("time.routing", perf_counter() - routed_at)
             return
         if self._record:
             for send in sends:

@@ -3,7 +3,8 @@
 Marked ``perf_smoke`` so CI can select it (``-m perf_smoke``); it runs in
 the ordinary tier-1 sweep too, keeping the benchmark code permanently
 exercised.  Thresholds are *not* asserted here — timing on shared CI
-hardware is noise; the real numbers live in ``benchmarks/bench_perf_core.py``.
+hardware is noise; the real numbers live in ``benchmarks/bench_perf_core.py``
+and the loose CI tripwires behind ``bench --check-gates``.
 """
 
 from __future__ import annotations
@@ -30,5 +31,29 @@ def test_bench_smoke_runs_and_emits_json(tmp_path):
     }
     for row in payload["schedulers"].values():
         assert row["steps"] > 0
-    assert payload["parallel"]["aggregates_identical"] is True
-    assert payload["observability"]["steps_identical"] is True
+    par = payload["parallel"]
+    assert par["aggregates_identical"] is True
+    assert par["workload"] == "sliced_campaign"
+    assert par["cold_pool_seconds"] > 0 and par["warm_pool_seconds"] > 0
+    warm = payload["parallel_warm"]
+    assert warm["cold_dispatch_seconds"] > 0
+    assert warm["warm_dispatch_seconds"] > 0
+    obs = payload["observability"]
+    assert obs["steps_identical"] is True
+    assert "metrics_on_overhead_pct" in obs
+    assert "median_paired_overhead_pct" in obs
+    hot = payload["hot_path"]
+    assert hot["kernel_step_ns"] > 0
+    assert hot["pool_dispatch_cold_seconds"] > 0
+
+
+@pytest.mark.perf_smoke
+def test_bench_profile_writes_pstats(tmp_path):
+    out = tmp_path / "BENCH_core.json"
+    assert main(["bench", "--smoke", "--profile", "--out", str(out)]) == 0
+    pstats_path = tmp_path / "profile.pstats"
+    assert pstats_path.exists() and pstats_path.stat().st_size > 0
+    import pstats
+
+    stats = pstats.Stats(str(pstats_path))
+    assert stats.total_calls > 0

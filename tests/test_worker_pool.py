@@ -1,0 +1,148 @@
+"""Lifecycle and chunk-planning behaviour of the persistent worker pool.
+
+The determinism contract (parallel == serial, byte for byte) lives in
+``test_parallel_runner.py``; this module covers what the *persistent*
+pool added: warm reuse across ``run_many`` calls, worker reaping on
+close, and cost-aware chunk planning (including the seeds < workers
+regression the static ``nworkers * 4`` heuristic used to hit).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.builders import build_failstop_processes
+from repro.harness.pool import TARGET_CHUNK_SECONDS, fork_context, plan_chunks
+from repro.harness.runner import ExperimentRunner
+from repro.harness.workloads import balanced_inputs
+
+fork_available = pytest.mark.skipif(
+    fork_context() is None, reason="fork start method unavailable"
+)
+
+
+def make_runner(**kwargs):
+    return ExperimentRunner(
+        lambda seed: build_failstop_processes(5, 2, balanced_inputs(5)),
+        **kwargs,
+    )
+
+
+def _pids_dead(pids, timeout=5.0):
+    """True once every pid in ``pids`` has exited (reaped or kill-0 fails)."""
+    deadline = time.monotonic() + timeout
+    remaining = set(pids)
+    while remaining and time.monotonic() < deadline:
+        for pid in list(remaining):
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, PermissionError):
+                remaining.discard(pid)
+        if remaining:
+            time.sleep(0.05)
+    return not remaining
+
+
+class TestChunkPlanning:
+    def test_fewer_seeds_than_workers_never_yields_empty_chunks(self):
+        # Regression: the static nworkers*4 heuristic used to plan more
+        # chunks than seeds; every chunk must be non-empty.
+        for nworkers in (2, 4, 16):
+            for nseeds in (1, 2, 3):
+                seeds = list(range(nseeds))
+                chunks = plan_chunks(seeds, nworkers, None)
+                assert len(chunks) <= len(seeds)
+                assert all(chunks), f"empty chunk for {nseeds}x{nworkers}"
+                assert [s for chunk in chunks for s in chunk] == seeds
+
+    def test_chunks_are_contiguous_and_ordered(self):
+        seeds = list(range(100, 137))
+        chunks = plan_chunks(seeds, 4, 0.001)
+        assert [s for chunk in chunks for s in chunk] == seeds
+
+    def test_cost_aware_sizing_targets_chunk_seconds(self):
+        seeds = list(range(64))
+        # Cheap seeds coalesce into large chunks (capped for balance)...
+        cheap = plan_chunks(seeds, 2, TARGET_CHUNK_SECONDS / 1000)
+        # ...expensive seeds dispatch one at a time.
+        costly = plan_chunks(seeds, 2, TARGET_CHUNK_SECONDS * 2)
+        assert len(cheap) < len(costly)
+        assert all(len(chunk) == 1 for chunk in costly)
+
+    def test_balance_cap_keeps_two_chunks_per_worker(self):
+        # Even free seeds are not lumped into one giant chunk: the cap
+        # keeps ~2 chunks per worker for load balance.
+        chunks = plan_chunks(list(range(64)), 4, 1e-12)
+        assert len(chunks) >= 8
+
+    def test_no_estimate_uses_static_heuristic(self):
+        chunks = plan_chunks(list(range(64)), 4, None)
+        assert len(chunks) == 16  # nworkers * 4
+
+    def test_empty_seeds(self):
+        assert plan_chunks([], 4, None) == []
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_chunks([1, 2], 0, None)
+
+
+@fork_available
+class TestWarmPoolLifecycle:
+    def test_pool_persists_across_run_many_calls(self):
+        seeds_a, seeds_b = list(range(8)), list(range(50, 58))
+        serial = make_runner()
+        serial_a = serial.run_many(seeds_a, workers=1)
+        serial_b = serial.run_many(seeds_b, workers=1)
+        with make_runner() as runner:
+            warm_a = runner.run_many(seeds_a, workers=2)
+            pids_first = runner._pool.worker_pids()
+            warm_b = runner.run_many(seeds_b, workers=2)
+            pids_second = runner._pool.worker_pids()
+        # Same forked workers served both batches (no re-fork)...
+        assert pids_first == pids_second
+        # ...and both batches are identical to their serial runs.
+        assert warm_a.results == serial_a.results
+        assert warm_b.results == serial_b.results
+
+    def test_close_reaps_workers(self):
+        runner = make_runner()
+        runner.run_many(list(range(6)), workers=2)
+        pids = runner._pool.worker_pids()
+        assert pids and all(isinstance(pid, int) for pid in pids)
+        runner.close()
+        assert runner._pool is None
+        assert _pids_dead(pids)
+
+    def test_close_is_idempotent_and_runner_stays_usable(self):
+        runner = make_runner()
+        first = runner.run_many(list(range(6)), workers=2)
+        runner.close()
+        runner.close()
+        again = runner.run_many(list(range(6)), workers=2)
+        assert again.results == first.results
+        runner.close()
+
+    def test_worker_count_change_reforks(self):
+        with make_runner() as runner:
+            runner.run_many(list(range(6)), workers=2)
+            pids_two = runner._pool.worker_pids()
+            runner.run_many(list(range(6)), workers=3)
+            pids_three = runner._pool.worker_pids()
+        assert len(pids_two) == 2
+        assert len(pids_three) == 3
+        assert _pids_dead(pids_two)
+
+    def test_garbage_collected_runner_reaps_pool(self):
+        runner = make_runner()
+        runner.run_many(list(range(6)), workers=2)
+        pids = runner._pool.worker_pids()
+        del runner
+        import gc
+
+        gc.collect()
+        assert _pids_dead(pids)
