@@ -27,9 +27,14 @@ pieces:
   delay/drop/partition/reset schedules, the live-network analogue of the
   simulator's adversarial schedulers.
 * :mod:`repro.cluster.driver` — launches an n-node loopback cluster,
-  attaches :mod:`repro.obs` metrics and JSONL trace sinks, checks the
-  agreement/validity oracles over the collected decision records, and
-  emits ``BENCH_cluster.json``.
+  attaches :mod:`repro.obs` metrics and JSONL trace sinks (optionally
+  with per-node :class:`~repro.obs.spans.SpanTracer` causal tracing),
+  checks the agreement/validity oracles over the collected decision
+  records, and emits ``BENCH_cluster.json``.
+* :mod:`repro.cluster.report` — stitches a traced run's per-node JSONL
+  shards into one HLC-ordered timeline and renders the operational run
+  report (latency decomposition, chaos correlation, backpressure
+  timeline, SLO gates) behind ``repro-consensus report``.
 """
 
 from repro.cluster.codec import (
@@ -59,7 +64,20 @@ from repro.cluster.driver import (
     run_cluster_sync,
     run_multi_instance_bench,
 )
+from repro.cluster.driver import run_tracing_overhead_bench
 from repro.cluster.node import ClusterNode, DecisionRecord
+from repro.cluster.report import (
+    StitchedTrace,
+    analyze_run,
+    check_slos,
+    render_report_markdown,
+    stitch_trace_dir,
+)
+from repro.cluster.trace import (
+    ClusterTraceReader,
+    ClusterTraceWriter,
+    read_cluster_trace,
+)
 from repro.cluster.transport import Transport
 
 __all__ = [
@@ -71,23 +89,32 @@ __all__ = [
     "ClusterNode",
     "ClusterReport",
     "ClusterSpec",
+    "ClusterTraceReader",
+    "ClusterTraceWriter",
     "CodecError",
     "DataFrame",
     "DecisionRecord",
     "FrameReader",
     "HelloFrame",
     "LEGACY_WIRE_VERSION",
+    "StitchedTrace",
     "Transport",
     "WIRE_ENCODING",
     "WIRE_VERSION",
+    "analyze_run",
     "check_decision_records",
     "check_decision_records_by_instance",
+    "check_slos",
     "decode_envelope",
     "decode_frame_bytes",
     "encode_envelope",
     "encode_frame",
+    "read_cluster_trace",
+    "render_report_markdown",
     "run_cluster",
     "run_cluster_bench",
     "run_cluster_sync",
     "run_multi_instance_bench",
+    "run_tracing_overhead_bench",
+    "stitch_trace_dir",
 ]

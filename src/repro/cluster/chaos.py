@@ -125,6 +125,10 @@ class ChaosProxy:
         trace: optional cluster trace writer.
         label: identifier stamped on trace events (usually the fronted
             node's pid).
+        tracer: optional :class:`repro.obs.spans.SpanTracer`; when set,
+            chaos events carry an ``hlc`` timestamp so the report
+            analyzer can place them on the cluster-wide causal timeline
+            alongside node spans.
     """
 
     def __init__(
@@ -134,12 +138,14 @@ class ChaosProxy:
         registry: Optional[MetricsRegistry] = None,
         trace: Any = None,
         label: Any = None,
+        tracer: Any = None,
     ) -> None:
         self.target = target
         self.config = config
         self.registry = registry
         self.trace = trace
         self.label = label
+        self.tracer = tracer
         self.rng = random.Random(config.seed)
         self._server: Optional[asyncio.AbstractServer] = None
         self._epoch: Optional[float] = None
@@ -228,12 +234,14 @@ class ChaosProxy:
                         self._trace_event("chaos-drop")
                         continue
                     if config.delay_max > 0:
-                        await asyncio.sleep(
-                            self.rng.uniform(
-                                config.delay_min, config.delay_max
-                            )
+                        pause = self.rng.uniform(
+                            config.delay_min, config.delay_max
                         )
+                        await asyncio.sleep(pause)
                         self._inc("cluster.chaos.delayed")
+                        self._trace_event(
+                            "chaos-delay", delay_ms=round(pause * 1000.0, 3)
+                        )
                     forwarded_data += 1
                 writer.write(frame_bytes)
                 await writer.drain()
@@ -272,6 +280,9 @@ class ChaosProxy:
             if not remaining:
                 return
             self._inc("cluster.chaos.partition_stalls")
+            self._trace_event(
+                "chaos-partition", stall_ms=round(max(remaining) * 1000.0, 3)
+            )
             await asyncio.sleep(max(remaining))
 
     # ------------------------------------------------------------------ #
@@ -282,6 +293,9 @@ class ChaosProxy:
         if self.registry is not None:
             self.registry.inc(name)
 
-    def _trace_event(self, event: str) -> None:
-        if self.trace is not None:
-            self.trace.record(event, node=self.label)
+    def _trace_event(self, event: str, **fields: Any) -> None:
+        if self.trace is None:
+            return
+        if self.tracer is not None:
+            fields["hlc"] = list(self.tracer.hlc.tick())
+        self.trace.record(event, node=self.label, **fields)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Any, Iterator, Union
+from typing import Any, Iterator, Optional, Union
 
 from repro.errors import ReproError
 from repro.net.message import Envelope
@@ -128,11 +128,19 @@ class DataFrame:
     ``instance`` names the consensus instance the envelope belongs to;
     the receiving node's demultiplexer routes it to that instance's
     protocol core (v1 frames carry no tag and decode as instance 0).
+
+    ``trace`` is the optional causal-trace extension: ``(trace_id,
+    span_id, hlc_physical_us, hlc_logical)`` stamped by a traced sender
+    (see :mod:`repro.obs.spans`).  It is carried only when present and
+    only on v2 frames — encoding at v1 silently drops it and untraced
+    frames omit the body key entirely, so v1 and untraced peers
+    interoperate with traced ones unchanged.
     """
 
     link_seq: int
     envelope: Envelope
     instance: int = 0
+    trace: Optional[tuple] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -204,22 +212,34 @@ def _data_body(frame: DataFrame, version: int) -> dict:
     body = {"ls": frame.link_seq, "env": encode_envelope(frame.envelope)}
     if version >= 2:
         body["inst"] = frame.instance
+        if frame.trace is not None:
+            # Optional causal-trace extension; absent on untraced frames
+            # so untraced peers never see (or pay for) the key.
+            body["tr"] = list(frame.trace)
     elif frame.instance != 0:
         raise CodecError(
             f"wire v1 cannot carry instance {frame.instance}; only the "
             "implicit instance 0 predates the multi-instance revision"
         )
+    # v1 predates tracing: the extension is dropped, not an error, so a
+    # traced node can still speak to a recorded-v1 replay peer.
     return body
 
 
 def _decode_data_body(record: Any) -> DataFrame:
     if not isinstance(record, dict):
         raise CodecError(f"data frame body is not a mapping: {record!r}")
+    trace = record.get("tr")
+    if trace is not None:
+        if not isinstance(trace, (list, tuple)) or len(trace) != 4:
+            raise CodecError(f"malformed trace extension: {trace!r}")
+        trace = tuple(trace)
     return DataFrame(
         link_seq=record["ls"],
         envelope=decode_envelope(record["env"]),
         # v1 bodies carry no tag: everything was instance 0.
         instance=record.get("inst", 0),
+        trace=trace,
     )
 
 

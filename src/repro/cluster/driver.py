@@ -25,9 +25,12 @@ baseline.
 from __future__ import annotations
 
 import asyncio
+import gc
 import json
 import math
 import os
+import tempfile
+import uuid
 from dataclasses import dataclass, replace
 from time import monotonic
 from typing import Mapping, Optional, Sequence, Union
@@ -36,8 +39,10 @@ from repro.cluster.chaos import ChaosConfig, ChaosProxy
 from repro.cluster.codec import WIRE_ENCODING
 from repro.cluster.node import ClusterNode, DecisionRecord
 from repro.cluster.trace import ClusterTraceWriter
-from repro.cluster.transport import Transport
+from repro.cluster.transport import DEFAULT_TRACE_SAMPLE, Transport
 from repro.errors import ConfigurationError
+from repro.harness.provenance import provenance
+from repro.obs.spans import SpanTracer
 from repro.faults.byzantine import (
     AntiMajorityEchoByzantine,
     BalancingEchoByzantine,
@@ -335,6 +340,8 @@ async def run_cluster(
     timeout: float = 60.0,
     registry: Optional[MetricsRegistry] = None,
     trace_dir: Optional[str] = None,
+    trace_spans: bool = True,
+    trace_sample: int = DEFAULT_TRACE_SAMPLE,
 ) -> ClusterReport:
     """Run one loopback cluster to (attempted) consensus.
 
@@ -346,6 +353,17 @@ async def run_cluster(
     identically-configured ensembles).  The run ends when every surviving
     correct node has decided *every instance*, or after ``timeout``
     wall-clock seconds.
+
+    ``trace_dir`` turns on JSONL tracing (one shard per node plus a
+    ``run.json`` manifest); ``trace_spans`` additionally gives every
+    node a :class:`~repro.obs.spans.SpanTracer`, stamping wire frames
+    with causal trace/span/HLC fields and decomposing each decision's
+    latency — the input :func:`repro.cluster.report.analyze_run` wants.
+    ``trace_sample`` thins the per-message send/recv spans (one frame in
+    that many per link; ``1`` records every message) — the decide
+    segments, chaos windows, and backpressure timeline are exact at any
+    rate.  With ``trace_dir=None`` everything is off and the hot paths
+    run their historic, allocation-free untraced code.
     """
     processes = build_processes(spec)
     if registry is None:
@@ -356,17 +374,23 @@ async def run_cluster(
     nodes: list[ClusterNode] = []
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
+    run_id = uuid.uuid4().hex[:12] if trace_dir is not None else None
     chaos_active = spec.chaos is not None and spec.chaos.active
     try:
         dial_addrs: dict[int, tuple] = {}
+        tracers: dict[int, Optional[SpanTracer]] = {}
         for pid in range(spec.n):
             writer = None
+            tracer = None
             if trace_dir is not None:
                 writer = ClusterTraceWriter(
                     os.path.join(trace_dir, f"node-{pid}.jsonl"),
                     extra={"node": pid},
                 )
+                if trace_spans:
+                    tracer = SpanTracer(writer, pid, run_id)
             writers[pid] = writer
+            tracers[pid] = tracer
             transport_kwargs: dict = {}
             if spec.batch_bytes is not None:
                 transport_kwargs["batch_bytes"] = spec.batch_bytes
@@ -378,17 +402,22 @@ async def run_cluster(
                 registry=registry,
                 trace=writer,
                 seed=spec.seed * 1_000_003 + pid,
+                tracer=tracer,
+                trace_sample=trace_sample,
                 **transport_kwargs,
             )
             transports.append(transport)
             addr = await transport.serve()
             if chaos_active:
+                # The proxy shares the fronted node's tracer: one HLC
+                # per pid keeps same-host causality single-clocked.
                 proxy = ChaosProxy(
                     addr,
                     replace(spec.chaos, seed=spec.chaos.seed + 7919 * pid),
                     registry=registry,
                     trace=writer,
                     label=pid,
+                    tracer=tracer,
                 )
                 proxies.append(proxy)
                 dial_addrs[pid] = await proxy.serve()
@@ -413,6 +442,7 @@ async def run_cluster(
                     trace=writers[pid],
                     process_factory=factory,
                     seed=spec.seed * 9_973 + pid,
+                    tracer=tracers[pid],
                     **node_kwargs,
                 )
             )
@@ -430,8 +460,21 @@ async def run_cluster(
             if monotonic() >= deadline:
                 timed_out = True
                 break
-            await asyncio.sleep(0.02)
+            # Poll granularity bounds wall_seconds resolution (and with
+            # it every decisions/sec figure), so keep it well under a
+            # short run's span.
+            await asyncio.sleep(0.005)
         wall = monotonic() - started
+        if not timed_out:
+            # The poll above only bounds *when we noticed* completion;
+            # the nodes' own decide timestamps give the exact wall to
+            # the final decision, free of poll-granularity quantization
+            # (which would dominate decisions/sec on short runs).
+            decided_at = max(
+                (node.last_decide_at for node in nodes), default=0.0
+            )
+            if decided_at > started:
+                wall = decided_at - started
         records = tuple(
             record
             for node in nodes
@@ -458,6 +501,10 @@ async def run_cluster(
                 expected_instances=range(spec.instances),
             )
         )
+        if trace_dir is not None:
+            _write_run_manifest(
+                trace_dir, run_id, spec, records, problems, wall, timed_out
+            )
         return ClusterReport(
             spec=spec,
             records=records,
@@ -479,16 +526,74 @@ async def run_cluster(
                 writer.close()
 
 
+def _write_run_manifest(
+    trace_dir: str,
+    run_id: Optional[str],
+    spec: ClusterSpec,
+    records: Sequence[DecisionRecord],
+    problems: Sequence[str],
+    wall: float,
+    timed_out: bool,
+) -> None:
+    """Drop ``run.json`` next to the trace shards.
+
+    The manifest binds the shards to the run that produced them: the
+    trace-id prefix (``run_id``), the spec the cluster executed, the
+    oracle verdict, and build/host provenance.  The report analyzer uses
+    it to label output and to sanity-check that shards from different
+    runs are not being stitched together.
+    """
+    latencies = sorted(
+        record.latency for record in records if record.is_correct
+    )
+    manifest = {
+        "run_id": run_id,
+        "spec": {
+            "n": spec.n,
+            "k": spec.k,
+            "protocol": spec.protocol,
+            "instances": spec.instances,
+            "byzantine": spec.byzantine_count,
+            "byzantine_kind": (
+                spec.byzantine_kind if spec.byzantine_count else None
+            ),
+            "chaos": bool(spec.chaos is not None and spec.chaos.active),
+            "seed": spec.seed,
+        },
+        "ok": not problems and not timed_out,
+        "timed_out": timed_out,
+        "problems": list(problems),
+        "wall_seconds": round(wall, 6),
+        "decisions": sum(1 for record in records if record.is_correct),
+        "decide_latency_ms": {
+            "p50": percentile(latencies, 0.50) * 1000.0,
+            "p99": percentile(latencies, 0.99) * 1000.0,
+        },
+        "provenance": provenance(),
+    }
+    path = os.path.join(trace_dir, "run.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def run_cluster_sync(
     spec: ClusterSpec,
     timeout: float = 60.0,
     registry: Optional[MetricsRegistry] = None,
     trace_dir: Optional[str] = None,
+    trace_spans: bool = True,
+    trace_sample: int = DEFAULT_TRACE_SAMPLE,
 ) -> ClusterReport:
     """Blocking wrapper around :func:`run_cluster`."""
     return asyncio.run(
         run_cluster(
-            spec, timeout=timeout, registry=registry, trace_dir=trace_dir
+            spec,
+            timeout=timeout,
+            registry=registry,
+            trace_dir=trace_dir,
+            trace_spans=trace_spans,
+            trace_sample=trace_sample,
         )
     )
 
@@ -674,8 +779,137 @@ async def run_multi_instance_bench(
     }
 
 
+async def run_tracing_overhead_bench(
+    spec: ClusterSpec,
+    timeout: float = 60.0,
+    trace_dir: Optional[str] = None,
+    reps: int = 64,
+) -> dict:
+    """Measure causal tracing's tax on the multi-instance hot path.
+
+    Runs the spec with identical seeds both untraced (the
+    allocation-free fast path) and with span tracing plus JSONL shards
+    enabled, then reports the decisions/sec delta.  In-window spooling
+    is what is being measured — serialisation happens at writer close,
+    after the last decide.
+
+    A single run's wall is tens of milliseconds, far too short for a
+    stable ratio, so the methodology stacks three defences:
+
+    - one unmeasured warmup run per arm soaks up first-run costs
+      (allocator, import, event-loop warmth), and the arms interleave
+      in alternating order (U-T, T-U, ...) so host-load drift hits
+      both arms alike;
+    - cyclic GC is disabled inside the measured windows (see below);
+    - each arm's rate comes from the mean of its ``k`` *fastest* walls
+      (``k = reps // 8``): run-to-run noise here is strictly one-sided
+      — host contention and the randomised protocol's extra-phase runs
+      only ever *add* time — so the fastest reps are the cleanest
+      observations of each arm's true cost (``timeit``'s min-of-many
+      principle, with a small mean to absorb clock jitter).  Tracing's
+      tax is additive per run, so it shifts the floor by its full cost;
+      because the floor runs are the shortest, this is also the
+      *conservative* (largest-relative) reading of the overhead.
+
+    The last traced rep's shards go to ``trace_dir`` when given,
+    otherwise to a temporary directory discarded afterwards.
+    """
+    reps = max(1, reps)
+    ok = True
+    untraced_runs: list[tuple[float, int]] = []
+    traced_runs: list[tuple[float, int]] = []
+
+    async def run_untraced(measure: bool = True) -> None:
+        nonlocal ok
+        report = await run_cluster(spec, timeout=timeout)
+        ok = ok and report.ok
+        if measure:
+            untraced_runs.append(
+                (report.wall_seconds, len(report.records))
+            )
+
+    async def run_traced(measure: bool = True) -> None:
+        nonlocal ok
+        if trace_dir is not None:
+            report = await run_cluster(
+                spec, timeout=timeout, trace_dir=trace_dir
+            )
+        else:
+            with tempfile.TemporaryDirectory(
+                prefix="repro-trace-"
+            ) as scratch:
+                report = await run_cluster(
+                    spec, timeout=timeout, trace_dir=scratch
+                )
+        ok = ok and report.ok
+        if measure:
+            traced_runs.append((report.wall_seconds, len(report.records)))
+
+    # GC hygiene: collections fire on allocation counts, and the traced
+    # arm allocates more — so cyclic collections land disproportionately
+    # inside traced windows, billing the *whole process's* accumulated
+    # heap (this bench runs after the main sweeps) to the tracing tax.
+    # Freezing parks the pre-existing heap outside collection; the
+    # per-rep collect keeps both arms starting from the same counters.
+    # Disabling cyclic GC for the measured windows (per-rep collects
+    # still reclaim between runs) keeps collection pauses — which fire
+    # on allocation counts, i.e. disproportionately inside the busier
+    # traced arm — out of both arms' walls.
+    gc.collect()
+    gc.freeze()
+    gc.disable()
+    try:
+        await run_untraced(measure=False)
+        await run_traced(measure=False)
+        for rep in range(reps):
+            gc.collect()
+            if rep % 2 == 0:
+                await run_untraced()
+                await run_traced()
+            else:
+                await run_traced()
+                await run_untraced()
+    finally:
+        gc.enable()
+        gc.unfreeze()
+
+    def floor_rate(runs: list[tuple[float, int]]) -> float:
+        if not runs:
+            return 0.0
+        k = max(1, min(len(runs), reps // 8))
+        fastest = sorted(runs)[:k]
+        wall = sum(w for w, _ in fastest)
+        decisions = sum(d for _, d in fastest)
+        return decisions / wall if wall > 0 else 0.0
+
+    untraced_dps = floor_rate(untraced_runs)
+    traced_dps = floor_rate(traced_runs)
+    overhead_pct = (
+        (untraced_dps - traced_dps) / untraced_dps * 100.0
+        if untraced_dps > 0
+        else 0.0
+    )
+    return {
+        "benchmark": "cluster-observability",
+        "n": spec.n,
+        "k": spec.k,
+        "protocol": spec.protocol,
+        "instances": spec.instances,
+        "reps": reps,
+        "ok": ok,
+        "untraced_decisions_per_sec": untraced_dps,
+        "traced_decisions_per_sec": traced_dps,
+        "overhead_pct": overhead_pct,
+        "untraced_wall_seconds": sum(w for w, _ in untraced_runs),
+        "traced_wall_seconds": sum(w for w, _ in traced_runs),
+    }
+
+
 def write_bench_report(payload: dict, path: str) -> None:
-    """Write the BENCH_cluster payload, creating parent directories."""
+    """Write the BENCH_cluster payload (stamped with provenance),
+    creating parent directories."""
+    payload = dict(payload)
+    payload.setdefault("provenance", provenance())
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:

@@ -42,7 +42,7 @@ from dataclasses import dataclass
 from time import monotonic
 from typing import Any, Callable, Dict, Iterable, Optional
 
-from repro.cluster.transport import Transport
+from repro.cluster.transport import NO_ENQUEUE_TS, Transport
 from repro.errors import ConfigurationError
 from repro.net.message import Envelope
 from repro.obs.metrics import MetricsRegistry
@@ -96,15 +96,56 @@ class DecisionRecord:
         }
 
 
-class _InstanceState:
-    """One live consensus instance at this node."""
+def _phase_of(process: Process):
+    """The protocol phase of a (possibly fault-wrapped) process."""
+    phase = getattr(process, "phaseno", None)
+    if phase is None:
+        inner = getattr(process, "inner", None)
+        if inner is not None:
+            phase = getattr(inner, "phaseno", None)
+    return phase
 
-    __slots__ = ("process", "started_at", "decided_event")
+
+class _InstanceState:
+    """One live consensus instance at this node.
+
+    ``queue_s``/``compute_s`` accumulate the traced latency segments:
+    seconds envelopes for this instance sat in the inbound queue, and
+    seconds spent inside its protocol core's atomic steps.  Whatever
+    wall-clock remains at decision time was spent waiting on the network
+    (the transport segment).  The segments tile the instance's wall
+    clock without overlap: many envelopes wait in the queue
+    *concurrently*, so each step's queue credit is clamped to the gap
+    since this instance's previous step ended (``last_step_end``) —
+    naively summing per-envelope waits would exceed the wall clock.
+    Only updated when causal tracing is on.
+    """
+
+    __slots__ = (
+        "process", "started_at", "decided_event",
+        "queue_s", "compute_s", "last_step_end", "last_phase",
+        "phase_src",
+    )
 
     def __init__(self, process: Process, started_at: float) -> None:
         self.process = process
         self.started_at = started_at
         self.decided_event = asyncio.Event()
+        self.queue_s = 0.0
+        self.compute_s = 0.0
+        self.last_step_end = started_at
+        # Phase after this instance's most recent step; lets the traced
+        # consumer loop detect transitions with one phase read per step.
+        self.last_phase = None
+        # Object whose ``phaseno`` attribute tracks the phase (the core
+        # itself, or a fault wrapper's inner core) — resolved once so
+        # the hot loop does a plain attribute read, not getattr chains.
+        src = process
+        if getattr(src, "phaseno", None) is None:
+            src = getattr(src, "inner", None)
+            if src is not None and getattr(src, "phaseno", None) is None:
+                src = None
+        self.phase_src = src
 
 
 class ClusterNode:
@@ -118,6 +159,13 @@ class ClusterNode:
             step counters, per-instance decision counters).
         trace: optional :class:`~repro.cluster.trace.ClusterTraceWriter`;
             events carry an ``instance`` field.
+        tracer: optional :class:`~repro.obs.spans.SpanTracer` (shared
+            with this node's transport) enabling causal tracing:
+            client-submit and phase-transition spans, per-instance
+            queue-wait/compute segment accounting, and HLC-stamped
+            decide events carrying the latency decomposition.  ``None``
+            keeps the consumer loop's untraced path free of clock reads
+            and allocations.
         process_factory: instance id → fresh protocol core for this
             node's pid.  Required to host instances other than 0; the
             factory is also what lazy instantiation uses when traffic
@@ -140,6 +188,7 @@ class ClusterNode:
         transport: Transport,
         registry: Optional[MetricsRegistry] = None,
         trace: Any = None,
+        tracer: Any = None,
         process_factory: Optional[InstanceFactory] = None,
         instance_linger: float = DEFAULT_INSTANCE_LINGER,
         seed: Optional[int] = None,
@@ -157,6 +206,7 @@ class ClusterNode:
         self.transport = transport
         self.registry = registry
         self.trace = trace
+        self.tracer = tracer
         self.process_factory = process_factory
         self.instance_linger = instance_linger
         self._bind_metrics(process)
@@ -167,6 +217,10 @@ class ClusterNode:
         #: instance as collected so late frames cannot resurrect it.
         self._retired: Dict[int, bool] = {}
         self._gc_handles: Dict[int, asyncio.TimerHandle] = {}
+        #: ``monotonic()`` of this node's most recent decision; lets the
+        #: driver measure wall clock to the final decide event rather
+        #: than to the completion-poll tick that noticed it.
+        self.last_decide_at = 0.0
         self._seed_used = False
         self.rng = random.Random(seed)
         self._task: Optional[asyncio.Task] = None
@@ -249,7 +303,31 @@ class ClusterNode:
             )
         if self.trace is not None:
             self.trace.record("instance-start", pid=self.pid, instance=instance)
+        if self.tracer is not None:
+            # The client-submit boundary: this node's segment of the
+            # decision's timeline opens here (explicitly via the client
+            # API, or lazily when the instance's first frame arrives).
+            self.tracer.span("client-submit", instance)
         return state
+
+    def _opening_step(self, instance: int, state: _InstanceState) -> None:
+        """Take one instance's first atomic step (the opening broadcast)."""
+        process = state.process
+        if not process.alive:
+            return
+        if self.tracer is None:
+            sends = process.start()
+            process.steps_taken += 1
+        else:
+            step_start = monotonic()
+            sends = process.start()
+            process.steps_taken += 1
+            step_end = monotonic()
+            state.compute_s += step_end - step_start
+            state.last_step_end = step_end
+            src = state.phase_src
+            state.last_phase = src.phaseno if src is not None else None
+        self._after_step(instance, state, sends)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -283,17 +361,36 @@ class ClusterNode:
         if instance in self._instances or instance in self._retired:
             return
         state = self._create_instance(instance)
-        if state.process.alive:
-            sends = state.process.start()
-            state.process.steps_taken += 1
-            self._after_step(instance, state, sends)
+        self._opening_step(instance, state)
 
     async def _run(self) -> None:
         inbound = self.transport.inbound
         registry = self.registry
+        tracer = self.tracer
+        clock = monotonic
         backlog: list = []
+        # Traced segment accounting is *burst-granular*: the drain loop
+        # below steps through everything already queued without ever
+        # yielding, so one clock pair brackets the whole busy burst and
+        # its elapsed time is split equally across the burst's steps
+        # (exact for one-step bursts — the common case on a quiet or
+        # chaos-throttled node).  Intra-burst attribution error is
+        # bounded by a few µs of step compute and only shifts µs
+        # between the queue/compute/transport *split*; the segment sum
+        # against e2e latency is unaffected, because transport is the
+        # measured-latency residual.
+        burst_members: list = []
+        burst_start = 0.0
         while True:
             if not backlog:
+                if burst_members:
+                    # Going idle: close the burst's accounting.
+                    burst_end = clock()
+                    share = (burst_end - burst_start) / len(burst_members)
+                    for st in burst_members:
+                        st.compute_s += share
+                        st.last_step_end = burst_end
+                    burst_members.clear()
                 backlog.append(await inbound.get())
             while True:
                 try:
@@ -304,7 +401,7 @@ class ClusterNode:
             # next envelope at random from everything already here.
             pick = self.rng.randrange(len(backlog))
             backlog[pick], backlog[-1] = backlog[-1], backlog[pick]
-            instance, envelope = backlog.pop()
+            instance, envelope, enqueued_at = backlog.pop()
             state = self._instances.get(instance)
             if state is None:
                 if instance in self._retired:
@@ -320,15 +417,50 @@ class ClusterNode:
                 # First sight of this instance at this node: instantiate
                 # and take the opening step, then deliver the envelope.
                 state = self._create_instance(instance)
-                if state.process.alive:
-                    opening = state.process.start()
-                    state.process.steps_taken += 1
-                    self._after_step(instance, state, opening)
+                self._opening_step(instance, state)
             process = state.process
             if not process.alive:
                 continue  # crashed/exited processes take no more steps
-            sends = process.step(envelope)
-            process.steps_taken += 1
+            if tracer is None:
+                sends = process.step(envelope)
+                process.steps_taken += 1
+            else:
+                # Segment accounting (burst-granular, see above): queue
+                # credit runs from whichever is later — when this
+                # envelope was enqueued, or when the instance's previous
+                # step ended — so concurrent waiters are not
+                # double-counted (see _InstanceState); compute accrues
+                # at burst close.
+                if not burst_members:
+                    burst_start = clock()
+                last_end = state.last_step_end
+                if enqueued_at > 0.0:
+                    waited = burst_start - (
+                        last_end if last_end > enqueued_at else enqueued_at
+                    )
+                    if waited > 0.0:
+                        state.queue_s += waited
+                # In-burst guard: a second envelope for this instance in
+                # the same burst gets no further queue credit.
+                state.last_step_end = burst_start
+                burst_members.append(state)
+                sends = process.step(envelope)
+                process.steps_taken += 1
+                # Phase only moves inside atomic steps, so comparing to
+                # the phase recorded after the previous step is exact —
+                # and costs one plain attribute read per step.
+                src = state.phase_src
+                phase_after = src.phaseno if src is not None else None
+                if phase_after != state.last_phase:
+                    previous = state.last_phase
+                    state.last_phase = phase_after
+                    tracer.span(
+                        "phase-transition",
+                        instance,
+                        phase=phase_after,
+                        previous=previous,
+                        steps=process.steps_taken,
+                    )
             if registry is not None:
                 registry.inc("cluster.node.steps")
             self._after_step(instance, state, sends)
@@ -354,10 +486,19 @@ class ClusterNode:
     def _after_step(
         self, instance: int, state: _InstanceState, sends
     ) -> None:
-        self._route(instance, sends)
+        # Self-delivered sends reuse the step's already-measured end
+        # timestamp as their enqueue instant — exact (the send happened
+        # at step end) and one clock read cheaper per loopback.
+        self._route(
+            instance,
+            sends,
+            state.last_step_end if self.tracer is not None else NO_ENQUEUE_TS,
+        )
         process = state.process
         if process.decided and instance not in self._records:
-            latency = monotonic() - state.started_at
+            decided_at = monotonic()
+            self.last_decide_at = decided_at
+            latency = decided_at - state.started_at
             record = DecisionRecord(
                 pid=self.pid,
                 value=process.decision.value,
@@ -375,10 +516,42 @@ class ClusterNode:
                     "cluster.decide.latency_ms", latency * 1000.0
                 )
             if self.trace is not None:
-                self.trace.record(
-                    "decide", pid=self.pid, instance=instance,
-                    value=record.value, phase=record.phase,
-                )
+                if self.tracer is not None:
+                    # The decide boundary closes the trace: the event
+                    # carries the full latency decomposition.  Queue and
+                    # compute are measured sums; transport is the
+                    # residual — wall-clock spent waiting on frames in
+                    # flight — clamped at zero against clock jitter.
+                    queue_ms = state.queue_s * 1000.0
+                    compute_ms = state.compute_s * 1000.0
+                    latency_ms = latency * 1000.0
+                    transport_ms = latency_ms - queue_ms - compute_ms
+                    if transport_ms < 0.0:
+                        transport_ms = 0.0
+                    physical, logical = self.tracer.hlc.tick()
+                    self.trace.record_fields(
+                        "decide",
+                        {
+                            "pid": self.pid,
+                            "instance": instance,
+                            "value": record.value,
+                            "phase": record.phase,
+                            "trace": self.tracer.trace_id(instance),
+                            "span": self.tracer.next_span_id(),
+                            "hlc": [physical, logical],
+                            "latency_ms": round(latency_ms, 3),
+                            "queue_ms": round(queue_ms, 3),
+                            "compute_ms": round(compute_ms, 3),
+                            "transport_ms": round(transport_ms, 3),
+                            "steps": process.steps_taken,
+                            "is_correct": process.is_correct,
+                        },
+                    )
+                else:
+                    self.trace.record(
+                        "decide", pid=self.pid, instance=instance,
+                        value=record.value, phase=record.phase,
+                    )
             state.decided_event.set()
             self._schedule_gc(instance)
         if process.exited and self.trace is not None:
@@ -408,15 +581,21 @@ class ClusterNode:
         if self.trace is not None:
             self.trace.record("instance-gc", pid=self.pid, instance=instance)
 
-    def _route(self, instance: int, sends) -> None:
-        """Deliver one step's sends: self loops back, the rest go out."""
+    def _route(self, instance: int, sends, send_ts: float) -> None:
+        """Deliver one step's sends: self loops back, the rest go out.
+
+        ``send_ts`` is the loopback enqueue timestamp (the producing
+        step's end when traced, :data:`NO_ENQUEUE_TS` otherwise).
+        """
         pid = self.pid
         for send in sends:
             envelope = Envelope(
                 sender=pid, recipient=send.recipient, payload=send.payload
             )
             if send.recipient == pid:
-                self.transport.inbound.put_nowait((instance, envelope))
+                self.transport.inbound.put_nowait(
+                    (instance, envelope, send_ts)
+                )
             else:
                 self.transport.send(envelope, instance=instance)
 

@@ -49,6 +49,7 @@ import asyncio
 import logging
 import random
 from collections import deque
+from time import monotonic
 from typing import Any, Optional
 
 from repro.cluster.codec import (
@@ -73,6 +74,17 @@ logger = logging.getLogger(__name__)
 #: flush stays well under the codec's MAX_BODY while still absorbing
 #: bursts from dozens of concurrent instances.
 DEFAULT_BATCH_BYTES = 32 * 1024
+
+#: Enqueue-timestamp placeholder for untraced inbound tuples.  A shared
+#: constant, not a fresh ``monotonic()`` float, so the untraced receive
+#: path allocates exactly what it always did (one tuple per delivery).
+NO_ENQUEUE_TS = 0.0
+
+#: Default send/recv span sampling: stamp (and span) one frame in this
+#: many per link, first frame always.  Decide segments, chaos windows,
+#: and backpressure events are exact regardless; ``1`` records every
+#: message.
+DEFAULT_TRACE_SAMPLE = 64
 
 
 def backoff_delay(
@@ -108,6 +120,10 @@ class _PeerLink:
         self.pending: asyncio.Queue = asyncio.Queue()
         self.unacked: deque[tuple[int, bytes]] = deque()
         self.next_seq = 0
+        #: Span-sampling countdown: frames until the next causal stamp
+        #: (0 = stamp the next frame, so a link's first frame always
+        #: carries the trace extension).
+        self._stamp_count = 0
         self.connected_once = False
         self._task: Optional[asyncio.Task] = None
         self._closed = False
@@ -237,24 +253,66 @@ class _PeerLink:
                 # instances flush with one syscall, not k.
                 batch: list[DataFrame] = []
                 batch_bytes = 0
+                tracer = transport.tracer
+                sample = transport.trace_sample
+                stamp_count = self._stamp_count  # hoisted over the batch
                 while True:
+                    # Causal stamp: the wire extension and the local
+                    # "send" span share one span id + HLC tick, so the
+                    # receiver's parent pointer resolves to this event.
+                    # Sampled 1-in-`trace_sample` per link (first frame
+                    # always) — per-message stamping and span emission
+                    # is the bulk of tracing's hot-path tax, and the
+                    # exact artefacts (decide segments, chaos windows,
+                    # backpressure) never ride on send/recv spans.
+                    if tracer is not None:
+                        stamp_count -= 1
+                        if stamp_count <= 0:
+                            stamp_count = sample
+                            ext = tracer.stamp(instance)
+                        else:
+                            ext = None
+                    else:
+                        ext = None
                     frame = DataFrame(
                         link_seq=self.next_seq,
                         envelope=envelope,
                         instance=instance,
+                        trace=ext,
                     )
                     frame_bytes = encode_frame(frame)
                     batch.append(frame)
                     batch_bytes += len(frame_bytes)
                     self.unacked.append((self.next_seq, frame_bytes))
                     self.next_seq += 1
-                    transport._trace(
-                        "send",
-                        pid=transport.pid,
-                        peer=self.peer,
-                        instance=instance,
-                        payload=envelope.payload,
-                    )
+                    if tracer is not None:
+                        # Traced: only stamped (sampled) frames get a
+                        # send span — unstamped ones stay event-free.
+                        if ext is not None and transport.trace is not None:
+                            transport.trace.record_fields(
+                                "send",
+                                {
+                                    "pid": transport.pid,
+                                    "peer": self.peer,
+                                    "instance": instance,
+                                    "payload": envelope.payload,
+                                    "trace": ext[0],
+                                    "span": ext[1],
+                                    "hlc": [ext[2], ext[3]],
+                                    "link_seq": frame.link_seq,
+                                },
+                            )
+                    elif transport.trace is not None:
+                        # Guarded at the call site: building the kwargs
+                        # dict for a no-op _trace would be a per-frame
+                        # allocation on the fully-untraced hot path.
+                        transport._trace(
+                            "send",
+                            pid=transport.pid,
+                            peer=self.peer,
+                            instance=instance,
+                            payload=envelope.payload,
+                        )
                     if (
                         transport.batch_bytes <= 0
                         or batch_bytes >= transport.batch_bytes
@@ -264,6 +322,7 @@ class _PeerLink:
                         instance, envelope = self.pending.get_nowait()
                     except asyncio.QueueEmpty:
                         break
+                self._stamp_count = stamp_count
                 transport._inc("cluster.transport.sent", len(batch))
                 transport._gauge_max(
                     "cluster.transport.queue_depth", self.backlog
@@ -317,6 +376,12 @@ class Transport:
         trace: optional cluster trace writer (see
             :mod:`repro.cluster.trace`) receiving send/recv/reconnect
             events.
+        tracer: optional :class:`~repro.obs.spans.SpanTracer` enabling
+            causal tracing: outgoing data frames are stamped with the
+            trace extension, send/recv events gain span ids and HLC
+            timestamps, and inbound deliveries carry their enqueue time
+            for the node's queue-wait accounting.  ``None`` (the
+            default) keeps the untraced hot path allocation-free.
         seed: seed for the backoff-jitter RNG (deterministic tests).
         backoff_base / backoff_cap: reconnect backoff curve parameters.
         retransmit_interval: quiet-period seconds before outstanding
@@ -330,6 +395,10 @@ class Transport:
             (default) keeps the queues unbounded and silent.
         backpressure: raise :class:`TransportOverloadedError` from
             :meth:`send` while a link sits at its high-water mark.
+        trace_sample: with a tracer, stamp-and-span one outgoing frame
+            in this many per link (``1`` = every message).  Sampling
+            only thins send/recv spans; every delivery still carries
+            its enqueue instant, so segment decomposition stays exact.
     """
 
     def __init__(
@@ -338,6 +407,7 @@ class Transport:
         n: int,
         registry: Optional[MetricsRegistry] = None,
         trace: Any = None,
+        tracer: Any = None,
         seed: Optional[int] = None,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
@@ -345,12 +415,17 @@ class Transport:
         batch_bytes: int = DEFAULT_BATCH_BYTES,
         queue_high_water: Optional[int] = None,
         backpressure: bool = False,
+        trace_sample: int = DEFAULT_TRACE_SAMPLE,
     ) -> None:
         if not 0 <= pid < n:
             raise ConfigurationError(f"pid {pid} out of range for n={n}")
         if batch_bytes < 0:
             raise ConfigurationError(
                 f"batch_bytes must be >= 0, got {batch_bytes}"
+            )
+        if trace_sample < 1:
+            raise ConfigurationError(
+                f"trace_sample must be >= 1, got {trace_sample}"
             )
         if queue_high_water is not None and queue_high_water < 1:
             raise ConfigurationError(
@@ -360,6 +435,7 @@ class Transport:
         self.n = n
         self.registry = registry
         self.trace = trace
+        self.tracer = tracer
         self.rng = random.Random(seed)
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -367,7 +443,9 @@ class Transport:
         self.batch_bytes = batch_bytes
         self.queue_high_water = queue_high_water
         self.backpressure = backpressure
+        self.trace_sample = trace_sample
         self._high_water_logged = False
+        self._high_water_traced_peak = 0
         #: Delivered ``(instance, envelope)`` pairs, sender-authenticated,
         #: exactly once, in per-link order.  The node actor consumes this
         #: queue and demultiplexes on the instance id.
@@ -402,10 +480,22 @@ class Transport:
             link.start()
 
     async def close(self) -> None:
-        """Tear the mesh endpoint down (idempotent)."""
+        """Tear the mesh endpoint down (idempotent).
+
+        Records the final per-link backlog as the
+        ``cluster.transport.final_backlog`` gauge first: after a
+        *graceful* shutdown (every node quiesced, all acks exchanged)
+        it must be 0 — a non-zero value is a leaked queue entry or an
+        unacknowledged frame, the bug class reconnect/retransmit code
+        breeds.
+        """
         if self._closed:
             return
         self._closed = True
+        if self.registry is not None:
+            self.registry.gauge_max(
+                "cluster.transport.final_backlog", self.backlog()
+            )
         for link in self._links.values():
             await link.close()
         if self._server is not None:
@@ -477,16 +567,24 @@ class Transport:
             chunk = await reader.read(65536)
             if not chunk:
                 return
+            # One enqueue timestamp per chunk, not per frame: every
+            # envelope in the chunk *arrived* at the same instant, so
+            # sharing the read is both cheaper and the more accurate
+            # queue-wait boundary (decode time is the node's, not the
+            # network's).
+            enqueued_at = (
+                monotonic() if self.tracer is not None else NO_ENQUEUE_TS
+            )
             frames.feed(chunk)
             for frame in frames.frames():
                 if peer is None:
                     peer = self._handshake(frame)
                     continue
                 if isinstance(frame, DataFrame):
-                    self._receive_data(peer, frame)
+                    self._receive_data(peer, frame, enqueued_at)
                 elif isinstance(frame, BatchFrame):
                     for inner in frame.frames:
-                        self._receive_data(peer, inner)
+                        self._receive_data(peer, inner, enqueued_at)
                 elif isinstance(frame, ByeFrame):
                     return
                 else:
@@ -523,7 +621,9 @@ class Transport:
             raise CodecError(f"handshake claims invalid pid {frame.pid}")
         return frame.pid
 
-    def _receive_data(self, peer: int, frame: DataFrame) -> None:
+    def _receive_data(
+        self, peer: int, frame: DataFrame, enqueued_at: float
+    ) -> None:
         expected = self._rx_expected.get(peer, 0)
         if frame.link_seq == expected:
             self._rx_expected[peer] = expected + 1
@@ -535,15 +635,40 @@ class Transport:
                 payload=frame.envelope.payload,
                 seq=frame.envelope.seq,
             )
-            self.inbound.put_nowait((frame.instance, envelope))
-            self._inc("cluster.transport.received")
-            self._trace(
-                "recv",
-                pid=self.pid,
-                peer=peer,
-                instance=frame.instance,
-                payload=envelope.payload,
+            # The enqueue is the "node-enqueue" segment boundary: traced
+            # deliveries carry their chunk's arrival instant (queue-wait
+            # attribution covers all envelopes); untraced ones share the
+            # NO_ENQUEUE_TS placeholder, keeping this path at its
+            # historic one-tuple-per-delivery allocation.
+            self.inbound.put_nowait(
+                (frame.instance, envelope, enqueued_at)
             )
+            self._inc("cluster.transport.received")
+            tracer = self.tracer
+            if tracer is None:
+                if self.trace is not None:
+                    # Same call-site guard as the send path: no kwargs
+                    # allocation per frame when nothing records it.
+                    self._trace(
+                        "recv",
+                        pid=self.pid,
+                        peer=peer,
+                        instance=frame.instance,
+                        payload=envelope.payload,
+                    )
+            elif frame.trace is not None and self.trace is not None:
+                # Only stamped frames merge the sender's HLC and emit a
+                # recv span — the receive half of send-span sampling.
+                fields = {
+                    "pid": self.pid,
+                    "peer": peer,
+                    "instance": frame.instance,
+                    "payload": envelope.payload,
+                }
+                tracer.extend_causal(
+                    fields, frame.instance, frame.trace
+                )
+                self.trace.record_fields("recv", fields)
         elif frame.link_seq < expected:
             self._inc("cluster.transport.duplicates")
         else:
@@ -556,9 +681,25 @@ class Transport:
     # ------------------------------------------------------------------ #
 
     def _note_high_water(self, peer: int, backlog: int) -> None:
-        """Record a queue high-water excursion: log once, gauge always."""
+        """Record a queue high-water excursion: log once, gauge always.
+
+        Traced runs additionally get a ``high-water`` event per *new*
+        backlog peak — the backpressure timeline of the run report —
+        which bounds event volume by peak growth, not by send rate.
+        """
         self._inc("cluster.transport.high_water_hits")
         self._gauge_max("cluster.transport.queue_depth", backlog)
+        if self.tracer is not None and backlog > self._high_water_traced_peak:
+            self._high_water_traced_peak = backlog
+            physical, logical = self.tracer.hlc.tick()
+            self._trace(
+                "high-water",
+                pid=self.pid,
+                peer=peer,
+                backlog=backlog,
+                limit=self.queue_high_water,
+                hlc=[physical, logical],
+            )
         if not self._high_water_logged:
             self._high_water_logged = True
             logger.warning(

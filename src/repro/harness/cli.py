@@ -25,8 +25,14 @@ Subcommands:
 * ``cluster`` — run the unchanged protocol cores over real TCP
   (see :mod:`repro.cluster`): an n-node loopback cluster, optionally
   with live Byzantine nodes and chaos-proxy delay/drop/reset
-  schedules; ``--bench`` sweeps sizes and writes
-  ``BENCH_cluster.json``.
+  schedules; ``--trace-out DIR`` writes causally-traced JSONL shards;
+  ``--bench`` sweeps sizes and writes ``BENCH_cluster.json``
+  (including the causal-tracing overhead section).
+* ``report`` — stitch a traced cluster run's per-node shards into one
+  HLC-ordered timeline and render the operational run report: decide
+  latency decomposed into queue/transport/compute segments, chaos
+  events correlated with decision windows, the backpressure timeline;
+  ``--check`` turns the SLO gates into a non-zero exit code for CI.
 
 The same experiment implementations back the pytest benchmarks; the CLI
 exists so a user can regenerate any paper artifact without pytest.
@@ -642,6 +648,23 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 payload["ok"] = (
                     payload["ok"] and payload["multi_instance"]["ok"]
                 )
+            if args.bench_observability:
+                from repro.cluster.driver import run_tracing_overhead_bench
+
+                obs_instances = (
+                    min(max(instance_counts), 8)
+                    if instance_counts
+                    else spec.instances
+                )
+                payload["observability"] = asyncio.run(
+                    run_tracing_overhead_bench(
+                        replace(spec, instances=obs_instances),
+                        timeout=args.timeout,
+                    )
+                )
+                payload["ok"] = (
+                    payload["ok"] and payload["observability"]["ok"]
+                )
         except ConfigurationError as exc:
             print(f"bad cluster configuration: {exc}")
             return 2
@@ -675,6 +698,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             print(line)
             for problem in row["problems"]:
                 print(f"  PROBLEM: {problem}")
+        obs = payload.get("observability")
+        if obs is not None:
+            print(
+                f"tracing overhead (instances={obs['instances']}): "
+                f"{obs['untraced_decisions_per_sec']:.1f}/s untraced vs "
+                f"{obs['traced_decisions_per_sec']:.1f}/s traced "
+                f"({obs['overhead_pct']:+.1f}%)"
+            )
         print(f"wrote {args.out}")
         return 0 if payload["ok"] else 1
 
@@ -685,6 +716,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             registry=registry,
             trace_dir=args.trace_out,
+            trace_sample=max(1, args.trace_sample),
         )
     except ConfigurationError as exc:
         print(f"bad cluster configuration: {exc}")
@@ -735,6 +767,54 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.trace_out is not None:
         print(f"traces in {args.trace_out}/")
     return 0 if report.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.cluster.report import (
+        analyze_run,
+        check_slos,
+        render_report_markdown,
+        report_json_payload,
+        stitch_trace_dir,
+    )
+    from repro.errors import ConfigurationError
+
+    try:
+        stitched = stitch_trace_dir(args.trace_dir)
+    except ConfigurationError as exc:
+        print(f"cannot stitch traces: {exc}")
+        return 2
+    analysis = analyze_run(stitched)
+    gated = args.check or args.slo_p99_ms is not None
+    failures = None
+    if gated:
+        failures = check_slos(
+            analysis,
+            max_p99_ms=args.slo_p99_ms,
+            max_segment_residual_pct=args.slo_residual_pct,
+        )
+    markdown = render_report_markdown(analysis, failures)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.out}")
+    else:
+        print(markdown, end="")
+    if args.json is not None:
+        payload = report_json_payload(analysis, failures)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if gated:
+        for failure in failures:
+            print(f"SLO FAIL: {failure}")
+        if failures:
+            return 1
+        print("SLO gates: all passed")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -939,6 +1019,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="shrink at most N violations per invocation (default: 5)",
     )
     fuzz_parser.set_defaults(func=_cmd_fuzz)
+    from repro.cluster.transport import DEFAULT_TRACE_SAMPLE
+
     cluster_parser = subparsers.add_parser(
         "cluster",
         help="run the protocols over real TCP: n-node loopback cluster "
@@ -1026,6 +1108,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write one JSONL trace per node into DIR",
     )
     cluster_parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=DEFAULT_TRACE_SAMPLE,
+        metavar="N",
+        help="with --trace-out: stamp-and-span one wire frame in N per "
+        "link; 1 records every message (default: "
+        f"{DEFAULT_TRACE_SAMPLE}; decide segments, chaos windows and "
+        "backpressure are exact at any rate)",
+    )
+    cluster_parser.add_argument(
         "--bench",
         action="store_true",
         help="sweep --bench-ns configurations and write BENCH_cluster.json",
@@ -1054,7 +1146,63 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="PATH",
         help="bench report path (default: ./BENCH_cluster.json)",
     )
+    cluster_parser.add_argument(
+        "--bench-observability",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="bench: also measure causal-tracing overhead "
+        "(untraced vs traced decisions/sec) as the payload's "
+        "'observability' section (default: on)",
+    )
     cluster_parser.set_defaults(func=_cmd_cluster)
+    report_parser = subparsers.add_parser(
+        "report",
+        help="stitch a cluster run's per-node trace shards into one "
+        "HLC-ordered timeline and render the operational run report "
+        "(latency decomposition, chaos correlation, backpressure)",
+    )
+    report_parser.add_argument(
+        "trace_dir",
+        metavar="TRACE_DIR",
+        help="directory written by 'cluster --trace-out' "
+        "(node-*.jsonl shards plus run.json)",
+    )
+    report_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the Markdown report here instead of stdout",
+    )
+    report_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the report as JSON",
+    )
+    report_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the SLO gates (termination held, latency "
+        "decomposition accounts for the e2e p50, no truncated shards) "
+        "and exit non-zero on any failure",
+    )
+    report_parser.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="gate: overall decide p99 must not exceed this "
+        "(implies --check)",
+    )
+    report_parser.add_argument(
+        "--slo-residual-pct",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="gate: max deviation between segment-sum p50 and "
+        "end-to-end p50 (default: 10)",
+    )
+    report_parser.set_defaults(func=_cmd_report)
     args = parser.parse_args(argv)
     return args.func(args)
 

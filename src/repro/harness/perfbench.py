@@ -527,11 +527,16 @@ def check_gates(payload: dict) -> list[str]:
 
 
 def write_report(payload: dict, path: str) -> None:
-    """Write the benchmark payload as pretty-printed JSON.
+    """Write the benchmark payload as pretty-printed JSON, stamped with
+    run provenance (git SHA, CPU count, Python version).
 
     Parent directories are created, so ``--out artifacts/BENCH_core.json``
     works on a fresh checkout.
     """
+    from repro.harness.provenance import provenance
+
+    payload = dict(payload)
+    payload.setdefault("provenance", provenance())
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:

@@ -13,6 +13,10 @@ Three concerns, one subsystem:
   kernel's hot-path stages, reported in the snapshot's ``timers``
   section and stripped by ``MetricsSnapshot.stable()`` for
   determinism-sensitive comparisons.
+* **Causal tracing** (:mod:`repro.obs.spans`) — hybrid logical clocks
+  and per-decision trace/span ids for the cluster runtime: spans are
+  written through the cluster's JSONL trace writers, and HLC order makes
+  per-node shards stitchable into one cluster-wide timeline.
 
 Everything is zero-cost when disabled: the kernel holds ``None`` instead
 of a registry and an inactive :class:`NullSink`, so the per-step cost of
@@ -32,6 +36,7 @@ from repro.obs.sinks import (
     NULL_SINK,
     CountingSink,
     InMemorySink,
+    JsonlReader,
     JsonlTraceSink,
     NullSink,
     OpaquePayload,
@@ -42,6 +47,7 @@ from repro.obs.sinks import (
     payload_type_name,
     read_jsonl,
 )
+from repro.obs.spans import HLC, SpanTracer, hlc_key, make_trace_id
 from repro.obs.timing import Timer
 from repro.obs.report import (
     metrics_json_payload,
@@ -58,16 +64,21 @@ __all__ = [
     "MetricsSnapshot",
     "TimerSnapshot",
     "merge_snapshots",
+    "HLC",
     "NULL_SINK",
     "CountingSink",
     "InMemorySink",
+    "JsonlReader",
     "JsonlTraceSink",
     "NullSink",
     "OpaquePayload",
     "SamplingSink",
+    "SpanTracer",
     "TraceSink",
     "event_from_dict",
     "event_to_dict",
+    "hlc_key",
+    "make_trace_id",
     "payload_type_name",
     "read_jsonl",
     "Timer",

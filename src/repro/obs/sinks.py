@@ -357,15 +357,57 @@ def event_from_dict(record: dict) -> TraceEvent:
     return event_type(step, pid)
 
 
-def read_jsonl(path: str) -> Iterator[TraceEvent]:
+class JsonlReader:
+    """One-pass iterator over a JSONL trace file, truncation-tolerant.
+
+    A crash (or ``kill -9``) mid-write leaves a trace file whose final
+    line is a partial JSON object.  Raising on it would make every
+    downstream tool useless on exactly the runs most worth debugging, so
+    this reader yields the parsed prefix and sets :attr:`truncated`
+    instead.  Only the *last* non-blank line gets that treatment — a
+    malformed line with valid lines after it is genuine corruption and
+    still raises.
+
+    Iterate it like the plain generator it replaces; after exhaustion,
+    :attr:`truncated` says whether a trailing partial line was dropped.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: True once iteration dropped a trailing truncated line.
+        self.truncated = False
+        self._events = self._read()
+
+    def __iter__(self) -> "JsonlReader":
+        return self
+
+    def __next__(self) -> TraceEvent:
+        return next(self._events)
+
+    def _read(self) -> Iterator[TraceEvent]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = iter(handle)
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    if any(rest.strip() for rest in lines):
+                        raise  # corruption mid-file, not a torn tail
+                    self.truncated = True
+                    return
+                yield event_from_dict(record)
+
+
+def read_jsonl(path: str) -> JsonlReader:
     """Lazily parse a JSONL trace file back into events.
 
     Yields events one by one, so arbitrarily large traces can be fed
     straight into the (iterator-friendly) :mod:`repro.sim.trace_tools`
-    functions without materialising a list.
+    functions without materialising a list.  A trailing truncated line
+    (crash mid-write) ends iteration cleanly and sets the returned
+    reader's ``truncated`` flag rather than raising.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                yield event_from_dict(json.loads(line))
+    return JsonlReader(path)

@@ -149,7 +149,7 @@ class TestClusterCli:
         import os
         assert sorted(os.listdir(trace_dir)) == [
             f"node-{pid}.jsonl" for pid in range(4)
-        ]
+        ] + ["run.json"]
 
     def test_bench_writes_report(self, capsys, tmp_path):
         import json

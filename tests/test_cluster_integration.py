@@ -162,11 +162,16 @@ class TestClusterBench:
             latency = row["decide_latency_ms"]
             assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
             assert row["decisions_per_sec"] > 0
-        # Nested output paths are created on demand.
+        # Nested output paths are created on demand; the written file is
+        # the payload plus the provenance stamp.
         out = str(tmp_path / "deep" / "nested" / "BENCH_cluster.json")
         write_bench_report(payload, out)
         with open(out, encoding="utf-8") as handle:
-            assert json.load(handle) == payload
+            written = json.load(handle)
+        stamp = written.pop("provenance")
+        assert written == payload
+        assert set(stamp) == {"git_sha", "cpu_count", "python"}
+        assert stamp["cpu_count"] >= 1
 
     def test_bench_rejects_zero_rounds(self):
         with pytest.raises(ConfigurationError):
@@ -180,6 +185,7 @@ class TestClusterBench:
             ClusterSpec(n=4, k=1, protocol="failstop", instances=2, seed=9),
             timeout=30.0,
             trace_dir=trace_dir,
+            trace_sample=1,  # every send spanned: labels on all instances
         )
         assert report.ok
         events = list(

@@ -323,6 +323,7 @@ class TestMultiInstanceNode:
                 after = a.active_instances
                 # A late frame for the retired instance must not
                 # resurrect it.
+                from repro.cluster.transport import NO_ENQUEUE_TS
                 from repro.net.message import Envelope
                 from repro.core.messages import SimpleMessage
 
@@ -334,6 +335,7 @@ class TestMultiInstanceNode:
                             recipient=0,
                             payload=SimpleMessage(phaseno=1, value=1),
                         ),
+                        NO_ENQUEUE_TS,
                     )
                 )
                 await asyncio.sleep(0.05)

@@ -66,9 +66,9 @@ async def drain(transport: Transport, count: int, timeout: float = 10.0):
     return received
 
 
-def envelopes(pairs):
-    """Just the envelopes of delivered ``(instance, envelope)`` pairs."""
-    return [env for _instance, env in pairs]
+def envelopes(items):
+    """Just the envelopes of delivered queue items."""
+    return [item[1] for item in items]
 
 
 class TestTransportPair:
@@ -96,7 +96,7 @@ class TestTransportPair:
         )
         assert all(env.sender == 0 for env in envelopes(received))
         assert all(env.recipient == 1 for env in envelopes(received))
-        assert all(instance == 0 for instance, _env in received)
+        assert all(instance == 0 for instance, _env, _ts in received)
 
     def test_send_refuses_foreign_identity(self):
         async def scenario():
@@ -134,7 +134,7 @@ class TestTransportPair:
             finally:
                 await b.close()
 
-        _instance, delivered = asyncio.run(scenario())
+        _instance, delivered, _enqueued = asyncio.run(scenario())
         assert delivered.sender == 1
         assert delivered.payload.phaseno == 7
 
@@ -282,7 +282,7 @@ class TestReliabilityUnderChaos:
                 await sender.close()
                 await late.close()
 
-        (_instance, delivered), snapshot = asyncio.run(scenario())
+        (_instance, delivered, _enqueued), snapshot = asyncio.run(scenario())
         assert delivered.payload.phaseno == 1
         assert snapshot.counters.get("cluster.transport.connect_failures", 0) > 0
 
@@ -306,7 +306,7 @@ class TestInstanceTagging:
                 await b.close()
 
         received = asyncio.run(scenario())
-        assert [instance for instance, _env in received] == [
+        assert [instance for instance, _env, _ts in received] == [
             tag % 3 for tag in range(30)
         ]
         assert [env.payload.phaseno for env in envelopes(received)] == list(

@@ -99,6 +99,42 @@ class TestMergeSemantics:
         assert left.gauges["peak"] == 7.0  # gauges merge by max
         assert left.timers["t"] == TimerSnapshot(calls=3, seconds=1.5)
 
+    def test_sampled_shard_folds_are_byte_identical(self):
+        """Associativity over registry-sampled shards, byte-for-byte.
+
+        Three shards populated through the real registry API (counters,
+        gauges, sampled timer cells, histogram observations, plus keys
+        present in only some shards) must fold to the same serialised
+        bytes whether the parent folds left-to-right or the shards are
+        pre-merged pairwise — the property the cluster driver relies on
+        when workers ship snapshots in arbitrary groupings.
+        """
+        import json
+
+        def shard(seed):
+            registry = MetricsRegistry()
+            for index in range(seed * 3):
+                registry.inc("steps")
+                registry.observe("latency_ms", float(seed * 10 + index))
+            registry.gauge_max("peak", float(seed * 7 % 5))
+            cell = registry.timer_cell("phase.total")
+            cell[0] += seed
+            cell[1] += seed * 0.125  # exactly representable: no FP drift
+            registry.inc(f"shard.only.{seed}")
+            return registry.snapshot()
+
+        a, b, c = shard(1), shard(2), shard(3)
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        pairwise = merge_snapshots([a, b, c])
+        blobs = {
+            json.dumps(fold.to_dict(), sort_keys=True)
+            for fold in (left, right, pairwise)
+        }
+        assert len(blobs) == 1
+        assert left.counters["steps"] == 18
+        assert left.timers["phase.total"].calls == 6
+
     def test_merge_snapshots_skips_none(self):
         a = MetricsSnapshot(counters={"x": 1})
         b = MetricsSnapshot(counters={"x": 2})

@@ -108,6 +108,33 @@ class TestJsonlRoundTrip:
             reference.trace
         )
 
+    def test_byte_chopped_tail_yields_parsed_prefix(self, tmp_path):
+        """A writer killed mid-line must not poison the whole trace:
+        ``read_jsonl`` yields every complete line and flags the torn
+        tail instead of raising."""
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlTraceSink(path) as sink:
+            for step in range(5):
+                sink.emit(StartEvent(step, step % 3))
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        last_newline = blob.rstrip(b"\n").rfind(b"\n")
+        with open(path, "wb") as handle:
+            handle.write(blob[: last_newline + 6])  # torn final line
+
+        reader = read_jsonl(path)
+        events = list(reader)
+        assert reader.truncated
+        assert events == [StartEvent(step, step % 3) for step in range(4)]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"t": "start", "step": 0, "pid": 0}\n')
+        with pytest.raises(ValueError):
+            list(read_jsonl(path))
+
     def test_extra_fields_stamped_per_line(self, tmp_path):
         import json
 
