@@ -412,3 +412,41 @@ def decode_frame_bytes(data: bytes, accept_legacy: bool = False) -> list[Frame]:
     frames = list(reader.frames())
     reader.finish()
     return frames
+
+
+# ---------------------------------------------------------------------- #
+# Canonical state encoding (SMR snapshots and replica digests)
+# ---------------------------------------------------------------------- #
+
+
+def encode_canonical(obj: Any) -> bytes:
+    """Canonical bytes for replicated state: snapshots and digests.
+
+    Unlike the wire body encoder (msgpack when available — fast, but
+    its dict encoding follows insertion order), canonical encoding must
+    yield byte-identical output for semantically equal values no matter
+    how they were constructed: replicas compare state machines
+    byte-for-byte, and a snapshot restored on another node must compare
+    equal to the machine that wrote it.  JSON with sorted keys, compact
+    separators, and ASCII escapes is order-independent and available
+    everywhere.
+    """
+    import json
+
+    return json.dumps(
+        obj, separators=(",", ":"), sort_keys=True, ensure_ascii=True
+    ).encode("ascii")
+
+
+def decode_canonical(blob: bytes) -> Any:
+    """Inverse of :func:`encode_canonical`.
+
+    Raises :class:`CodecError` on malformed input — a torn snapshot
+    must fail restore loudly, never restore partially.
+    """
+    import json
+
+    try:
+        return json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CodecError(f"malformed canonical state blob: {exc}") from exc

@@ -122,7 +122,7 @@ class _InstanceState:
     """
 
     __slots__ = (
-        "process", "started_at", "decided_event",
+        "process", "started_at", "decided_event", "waiters",
         "queue_s", "compute_s", "last_step_end", "last_phase",
         "phase_src",
     )
@@ -131,6 +131,10 @@ class _InstanceState:
         self.process = process
         self.started_at = started_at
         self.decided_event = asyncio.Event()
+        #: Client coroutines currently blocked in ``decide_instance`` on
+        #: this instance; the abandonment path only collects an
+        #: undecided instance once the last of them has given up.
+        self.waiters = 0
         self.queue_s = 0.0
         self.compute_s = 0.0
         self.last_step_end = started_at
@@ -581,6 +585,35 @@ class ClusterNode:
         if self.trace is not None:
             self.trace.record("instance-gc", pid=self.pid, instance=instance)
 
+    def _abandon_if_unwaited(self, instance: int) -> None:
+        """Release one undecided instance after its last waiter gave up.
+
+        The linger GC only ever arms for *decided* instances, so before
+        this path existed a ``decide_many``/``decide_instance`` caller
+        timing out (or being cancelled) left the instance's demux state
+        in the table forever — thousands of timed-out client calls
+        accumulated thousands of dead protocol cores.  Abandonment
+        mirrors GC: the process state is dropped, the instance is marked
+        retired so late frames are counted and discarded instead of
+        lazily resurrecting it, and (unlike GC) there is no decision
+        record to keep.
+        """
+        state = self._instances.get(instance)
+        if (
+            state is None
+            or state.waiters > 0
+            or instance in self._records
+        ):
+            return
+        del self._instances[instance]
+        self._retired[instance] = state.process.crashed
+        if self.registry is not None:
+            self.registry.inc("cluster.node.instances_abandoned")
+        if self.trace is not None:
+            self.trace.record(
+                "instance-abandoned", pid=self.pid, instance=instance
+            )
+
     def _route(self, instance: int, sends, send_ts: float) -> None:
         """Deliver one step's sends: self loops back, the rest go out.
 
@@ -614,18 +647,35 @@ class ClusterNode:
     async def decide_instance(
         self, instance: int, timeout: Optional[float] = None
     ) -> DecisionRecord:
-        """Await one instance's decision (starting it if necessary)."""
+        """Await one instance's decision (starting it if necessary).
+
+        A timed-out (or cancelled) wait releases the instance's demux
+        state once no other caller is still waiting on it — abandoning
+        a decision must not leak the protocol core.
+        """
         record = self._records.get(instance)
         if record is not None:
             return record
+        if instance in self._retired:
+            raise ConfigurationError(
+                f"instance {instance} was abandoned at node {self.pid}; "
+                "retired instances are never reopened"
+            )
         self.start_instance(instance)
         state = self._instances[instance]
-        if timeout is None:
-            await state.decided_event.wait()
-        else:
-            await asyncio.wait_for(
-                state.decided_event.wait(), timeout=timeout
-            )
+        state.waiters += 1
+        try:
+            if timeout is None:
+                await state.decided_event.wait()
+            else:
+                await asyncio.wait_for(
+                    state.decided_event.wait(), timeout=timeout
+                )
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            state.waiters -= 1
+            self._abandon_if_unwaited(instance)
+            raise
+        state.waiters -= 1
         return self._records[instance]
 
     async def decide_many(
@@ -660,4 +710,13 @@ class ClusterNode:
 
         if timeout is None:
             return await _gather()
-        return await asyncio.wait_for(_gather(), timeout=timeout)
+        try:
+            return await asyncio.wait_for(_gather(), timeout=timeout)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            # The gather awaits sequentially, so only the instance it was
+            # blocked on when the timeout fired cleaned up after itself;
+            # the rest of the batch never registered a waiter and would
+            # leak their demux state without this sweep.
+            for instance in ids:
+                self._abandon_if_unwaited(instance)
+            raise

@@ -229,6 +229,34 @@ def analyze_run(stitched: StitchedTrace) -> dict:
     for event in stitched.by_type("span"):
         name = event.get("name", "?")
         span_counts[name] = span_counts.get(name, 0) + 1
+    smr_applies = stitched.by_type("smr-apply")
+    smr_commits = stitched.by_type("smr-commit")
+    smr_snapshots = stitched.by_type("smr-snapshot")
+    smr = None
+    if smr_applies or smr_commits or smr_snapshots:
+        # The SMR layer's own boundary: commit latency is submit →
+        # majority-applied (the client-visible number), distinct from
+        # the per-slot consensus decide latency above.
+        smr = {
+            "applies": len(smr_applies),
+            "dedup_hits": sum(
+                1 for event in smr_applies if event.get("deduped")
+            ),
+            "snapshots": len(smr_snapshots),
+            "compacted_entries": sum(
+                event.get("entries_dropped", 0)
+                for event in smr_snapshots
+            ),
+            "commits": len(smr_commits),
+            "aborts": sum(
+                1
+                for event in smr_commits
+                if event.get("decision") == 0
+            ),
+            "commit_latency_ms": _percentiles(
+                [event.get("latency_ms", 0.0) for event in smr_commits]
+            ),
+        }
     return {
         "format": "repro-cluster-report/1",
         "run": stitched.manifest,
@@ -244,6 +272,7 @@ def analyze_run(stitched: StitchedTrace) -> dict:
             "in_decide_windows": correlated_totals,
         },
         "backpressure": backpressure,
+        "smr": smr,
     }
 
 
@@ -262,6 +291,9 @@ def check_slos(
 
     Returns human-readable failures (empty = all gates pass):
 
+    * **input** — the stitched trace must contain at least one event;
+      an empty shard set proves nothing, so gating it is vacuous and
+      must fail loudly rather than pass silently;
     * **termination** — the manifest's oracle verdict must be ok (no
       agreement/validity/termination problems, no timeout) and at least
       one correct decision must appear in the trace;
@@ -273,6 +305,11 @@ def check_slos(
       must not exceed it.
     """
     failures: list[str] = []
+    if not analysis.get("events"):
+        failures.append(
+            "input: empty trace (0 events stitched) — gates have "
+            "nothing to judge"
+        )
     overall = analysis.get("overall")
     manifest = analysis.get("run")
     if require_termination:
@@ -432,6 +469,36 @@ def render_report_markdown(
             render_markdown(
                 ["node", "peer", "backlog", "limit"], rows
             )
+        )
+
+    smr = analysis.get("smr")
+    if smr is not None:
+        parts.append("## SMR commit latency")
+        latency = smr["commit_latency_ms"]
+        parts.append(
+            render_markdown(
+                [
+                    "commits", "aborts", "applies", "dedup hits",
+                    "snapshots", "p50 ms", "p99 ms", "max ms",
+                ],
+                [
+                    [
+                        smr["commits"],
+                        smr["aborts"],
+                        smr["applies"],
+                        smr["dedup_hits"],
+                        smr["snapshots"],
+                        latency["p50"],
+                        latency["p99"],
+                        latency["max"],
+                    ]
+                ],
+            )
+        )
+        parts.append(
+            "Commit latency is submit → majority-applied (the "
+            "client-visible bound); per-slot consensus decide latency "
+            "is decomposed above."
         )
 
     if slo_failures is not None:

@@ -1,0 +1,1160 @@
+"""State-machine replication: a replicated KV log over ``decide_many``.
+
+The paper's Figure 1/2 protocols decide one bit.  This module is the
+lift from single-shot agreement to a client-facing service (the move
+Abraham–Dolev–Stern frame as fault-tolerant *computation*): a replicated
+log in which **each log slot is one consensus instance** multiplexed
+over the existing cluster runtime, and a deterministic key-value state
+machine applies committed entries in slot order on every replica.
+
+Division of labour (DESIGN.md §13):
+
+* **Sequencing and commit** are consensus' job.  Slot ``s`` commits when
+  instance ``s`` decides 1.  Every correct replica proposes 1 for a
+  submitted slot, so unanimity + the paper's validity theorem force
+  commit; a 0 decision is an *abort* — the slot is a no-op and the
+  client retries under a fresh slot (dedup makes the retry safe).
+* **Command dissemination** is not consensus' job (the protocols carry
+  one bit, not payloads).  The cluster hands each slot's command to
+  every replica's in-process proposal buffer at submit time — modelling
+  the standard client-broadcasts-request pattern — before the slot's
+  opening protocol step is taken, so by the time any replica applies a
+  committed slot it necessarily holds the command.
+* **Exactly-once** is the state machine's job.  Commands carry a
+  ``(session, request_id)`` identity; sessions are sequential (one
+  outstanding request), so each replica tracks the highest applied
+  request id per session plus its cached result, and a retried command
+  — same identity, later slot — returns the cached result without
+  re-executing.
+* **Compaction** is the replica's job.  Every ``compact_every`` slots a
+  replica snapshots its state machine (canonical bytes, see
+  :func:`repro.cluster.codec.encode_canonical`) and drops log entries at
+  or below the snapshot slot.  Invariant: snapshot + retained committed
+  entries replays to a state byte-identical to full replay — the
+  property :class:`SMRNode.replay_from_snapshot` exposes for tests.
+
+A slot's **commit latency** is submit → a majority of correct replicas
+applied it.  :func:`run_smr_load` drives an open-loop Poisson workload
+(arrival times are drawn up front and never wait on completions, so the
+latency numbers are free of coordinated omission) and reports
+throughput plus p50/p99 commit latency; :func:`run_smr_bench` sweeps
+cluster sizes under clean and chaos regimes for BENCH_cluster.json.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import uuid
+from dataclasses import dataclass, replace
+from time import monotonic
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.chaos import ChaosConfig, ChaosProxy
+from repro.cluster.codec import (
+    WIRE_ENCODING,
+    decode_canonical,
+    encode_canonical,
+)
+from repro.cluster.driver import (
+    ClusterSpec,
+    _write_run_manifest,
+    build_processes,
+    check_decision_records_by_instance,
+    percentile,
+)
+from repro.cluster.node import ClusterNode
+from repro.cluster.trace import ClusterTraceWriter
+from repro.cluster.transport import DEFAULT_TRACE_SAMPLE, Transport
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+from repro.procs.base import Process
+
+#: Operations the KV state machine executes.
+SMR_OPS = ("noop", "set", "get", "del", "add")
+
+#: Decided slots linger far shorter than the cluster default: an SMR run
+#: decides thousands of instances, and each retains its protocol core
+#: until the linger expires.
+DEFAULT_SMR_LINGER = 0.5
+
+#: Snapshot + compaction cadence (slots).
+DEFAULT_COMPACT_EVERY = 64
+
+
+@dataclass(frozen=True)
+class Command:
+    """One client request: a state-machine operation with its identity.
+
+    ``(session, request_id)`` is the exactly-once identity — a client
+    retry re-submits the *same* command under a new slot, and the state
+    machine's session table recognises it.  The genesis no-op uses the
+    empty session, which is exempt from dedup tracking.
+    """
+
+    session: str
+    request_id: int
+    op: str
+    key: str = ""
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.op not in SMR_OPS:
+            raise ConfigurationError(
+                f"unknown SMR op {self.op!r}; choose from {list(SMR_OPS)}"
+            )
+        if self.request_id < 0:
+            raise ConfigurationError(
+                f"request_id must be >= 0, got {self.request_id}"
+            )
+
+    def to_wire(self) -> dict:
+        """JSON/msgpack-ready form (also the log-entry record)."""
+        return {
+            "session": self.session,
+            "request_id": self.request_id,
+            "op": self.op,
+            "key": self.key,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_wire(cls, record: dict) -> "Command":
+        return cls(
+            session=record["session"],
+            request_id=record["request_id"],
+            op=record["op"],
+            key=record.get("key", ""),
+            value=record.get("value"),
+        )
+
+
+class KVStateMachine:
+    """The deterministic replicated state: a KV map plus session table.
+
+    Determinism contract: ``apply`` depends only on the current state
+    and the ``(slot, command)`` pair, so replicas applying the same
+    committed entries in the same slot order hold byte-identical state
+    (:meth:`state_bytes`).  The ``applies``/``dedup_hits`` counters are
+    observability, not state — they are excluded from the canonical
+    bytes so a restored snapshot compares equal to the machine that
+    wrote it.
+    """
+
+    def __init__(self) -> None:
+        self.data: Dict[str, Any] = {}
+        #: session → {"rid": highest applied request id, "result": its
+        #: cached result}.  Sessions are sequential, so one cached
+        #: result per session suffices for exactly-once semantics.
+        self.sessions: Dict[str, dict] = {}
+        self.last_applied_slot = -1
+        self.applies = 0
+        self.dedup_hits = 0
+
+    def apply(self, slot: int, command: Command) -> Tuple[Any, bool]:
+        """Apply one committed entry; returns ``(result, deduped)``.
+
+        Slots must arrive in strictly increasing order (aborted slots
+        are simply absent) — feeding a slot at or below the last applied
+        one is a sequencing bug, not a retry, and fails loudly.
+        """
+        if slot <= self.last_applied_slot:
+            raise ConfigurationError(
+                f"slot {slot} applied out of order (last applied "
+                f"{self.last_applied_slot})"
+            )
+        self.last_applied_slot = slot
+        if command.session:
+            session = self.sessions.get(command.session)
+            if session is not None and command.request_id <= session["rid"]:
+                # The retry's original apply already executed: return
+                # the cached result (None for requests older than the
+                # session's latest — a sequential client never awaits
+                # those) without touching the data.
+                self.dedup_hits += 1
+                result = (
+                    session["result"]
+                    if command.request_id == session["rid"]
+                    else None
+                )
+                return result, True
+        result = self._execute(command)
+        if command.session:
+            self.sessions[command.session] = {
+                "rid": command.request_id,
+                "result": result,
+            }
+        self.applies += 1
+        return result, False
+
+    def _execute(self, command: Command) -> Any:
+        op = command.op
+        if op == "noop":
+            return None
+        if op == "set":
+            self.data[command.key] = command.value
+            return command.value
+        if op == "get":
+            return self.data.get(command.key)
+        if op == "del":
+            return self.data.pop(command.key, None)
+        # "add": numeric increment — the op whose double-apply is
+        # visible, which is what makes dedup provable.
+        current = self.data.get(command.key)
+        if not isinstance(current, (int, float)) or isinstance(
+            current, bool
+        ):
+            current = 0
+        amount = command.value if command.value is not None else 1
+        total = current + amount
+        self.data[command.key] = total
+        return total
+
+    def state_bytes(self) -> bytes:
+        """Canonical bytes of the full replicated state.
+
+        Byte equality across replicas is the replica-consistency check;
+        the encoding is order-independent (sorted keys), so two machines
+        that executed the same entries compare equal regardless of dict
+        construction history.
+        """
+        return encode_canonical(
+            {
+                "data": self.data,
+                "sessions": self.sessions,
+                "last_applied_slot": self.last_applied_slot,
+            }
+        )
+
+    def snapshot(self) -> bytes:
+        """Serialise the state for compaction (same canonical bytes)."""
+        return self.state_bytes()
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "KVStateMachine":
+        """Rebuild a machine from :meth:`snapshot` bytes (e.g. after a
+        node restart); observability counters start from zero."""
+        record = decode_canonical(blob)
+        machine = cls()
+        machine.data = dict(record["data"])
+        machine.sessions = {
+            session: dict(entry)
+            for session, entry in record["sessions"].items()
+        }
+        machine.last_applied_slot = record["last_applied_slot"]
+        return machine
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """What awaiting a submitted slot resolves to.
+
+    ``committed`` is False for an aborted slot (consensus decided 0);
+    ``result`` is then None and the client should retry under a new
+    slot.  ``latency`` counts submit → majority-applied seconds.
+    """
+
+    slot: int
+    committed: bool
+    result: Any
+    latency: float
+    committed_at: float
+
+
+class SMRNode:
+    """One replica: a cluster node plus its state machine and log.
+
+    The applier task consumes submitted slots strictly in slot order:
+    it awaits each slot's consensus decision (decisions may *arrive* out
+    of order — a later slot's record is then already buffered at the
+    cluster node and returns instantly), applies committed entries, and
+    triggers snapshot + compaction on the configured cadence.
+    """
+
+    def __init__(
+        self,
+        node: ClusterNode,
+        cluster: "SMRCluster",
+        compact_every: int,
+    ) -> None:
+        self.node = node
+        self.cluster = cluster
+        self.compact_every = compact_every
+        self.machine = KVStateMachine()
+        #: slot → command, as disseminated at submit; compaction drops
+        #: entries at or below the snapshot slot.
+        self.log: Dict[int, Command] = {}
+        #: committed ``(slot, command)`` pairs retained since the last
+        #: snapshot — what :meth:`replay_from_snapshot` re-applies.
+        self.applied_entries: List[Tuple[int, Command]] = []
+        self.snapshot_slot = -1
+        self.snapshot_blob: Optional[bytes] = None
+        self.snapshots_taken = 0
+        self.compacted_entries = 0
+        self.aborted_slots = 0
+        #: Highest slot this replica has processed (applied or aborted).
+        self.applied_through = -1
+        self._submitted: asyncio.Queue = asyncio.Queue()
+        self._task: Optional[asyncio.Task] = None
+
+    @property
+    def pid(self) -> int:
+        """The underlying cluster node's process id."""
+        return self.node.pid
+
+    def offer(self, slot: int, command: Command) -> None:
+        """Buffer one slot's command and queue the slot for the applier.
+
+        Submission order is slot order (the cluster allocates slots
+        monotonically and offers synchronously), so the applier's queue
+        is already sequenced.
+        """
+        self.log[slot] = command
+        self._submitted.put_nowait(slot)
+
+    def start(self) -> None:
+        """Launch the applier task (idempotent per replica lifetime)."""
+        self._task = asyncio.get_running_loop().create_task(
+            self._apply_loop(), name=f"smr-applier-{self.pid}"
+        )
+
+    async def stop(self) -> None:
+        """Cancel and await the applier task; safe to call twice."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+
+    async def _apply_loop(self) -> None:
+        registry = self.node.registry
+        while True:
+            slot = await self._submitted.get()
+            record = await self.node.decide_instance(slot)
+            command = self.log[slot]
+            if record.value == 1:
+                result, deduped = self.machine.apply(slot, command)
+                self.applied_entries.append((slot, command))
+                if registry is not None:
+                    registry.inc("cluster.smr.applied")
+                    if deduped:
+                        registry.inc("cluster.smr.dedup_hits")
+                if self.node.trace is not None:
+                    self.node.trace.record(
+                        "smr-apply",
+                        pid=self.pid,
+                        instance=slot,
+                        op=command.op,
+                        session=command.session,
+                        request_id=command.request_id,
+                        deduped=deduped,
+                    )
+            else:
+                result = None
+                self.aborted_slots += 1
+                if registry is not None:
+                    registry.inc("cluster.smr.aborted")
+            self.applied_through = slot
+            self.cluster._on_applied(self.pid, slot, record.value, result)
+            if (
+                self.compact_every > 0
+                and slot - self.snapshot_slot >= self.compact_every
+            ):
+                self.take_snapshot(slot)
+
+    def take_snapshot(self, slot: int) -> None:
+        """Snapshot the machine and compact the log up to ``slot``."""
+        self.snapshot_blob = self.machine.snapshot()
+        self.snapshot_slot = slot
+        self.snapshots_taken += 1
+        dropped = [entry for entry in self.log if entry <= slot]
+        for entry in dropped:
+            del self.log[entry]
+        self.applied_entries = [
+            (entry_slot, command)
+            for entry_slot, command in self.applied_entries
+            if entry_slot > slot
+        ]
+        self.compacted_entries += len(dropped)
+        registry = self.node.registry
+        if registry is not None:
+            registry.inc("cluster.smr.snapshots")
+            registry.gauge_max(
+                "cluster.smr.snapshot_bytes", len(self.snapshot_blob)
+            )
+        if self.node.trace is not None:
+            self.node.trace.record(
+                "smr-snapshot",
+                pid=self.pid,
+                instance=slot,
+                entries_dropped=len(dropped),
+                snapshot_bytes=len(self.snapshot_blob),
+            )
+
+    def replay_from_snapshot(self) -> KVStateMachine:
+        """Restore the latest snapshot and re-apply retained entries.
+
+        This is the restart path: the returned machine must equal
+        :attr:`machine` byte-for-byte — the compaction invariant.
+        """
+        if self.snapshot_blob is not None:
+            machine = KVStateMachine.restore(self.snapshot_blob)
+        else:
+            machine = KVStateMachine()
+        for slot, command in self.applied_entries:
+            if slot > machine.last_applied_slot:
+                machine.apply(slot, command)
+        return machine
+
+
+class SMRCluster:
+    """The replicated service: slot allocation, commit quorum, replicas.
+
+    Wiring mirrors :func:`repro.cluster.driver.run_cluster` — per-node
+    transports (behind chaos proxies when the spec carries an active
+    chaos config), optional JSONL trace shards with span tracers — but
+    instead of a fixed instance count the cluster opens one consensus
+    instance per submitted slot, pipelined: every submit broadcasts the
+    slot's opening step immediately, so many slots are in flight while
+    the appliers catch up in order.
+
+    Crash-fault injection is not supported in SMR v1: a crashed replica
+    stops applying, and commit quorum over the *configured* correct set
+    would misreport.  Byzantine replicas are supported — they take part
+    in consensus but host no state machine and do not count toward the
+    commit quorum.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        compact_every: int = DEFAULT_COMPACT_EVERY,
+        registry: Optional[MetricsRegistry] = None,
+        trace_dir: Optional[str] = None,
+        trace_spans: bool = True,
+        trace_sample: int = DEFAULT_TRACE_SAMPLE,
+    ) -> None:
+        if spec.crashes:
+            raise ConfigurationError(
+                "SMR does not support crash injection: quorum tracking "
+                "assumes every correct replica keeps applying"
+            )
+        if spec.inputs is not None:
+            raise ConfigurationError(
+                "SMR sets its own inputs (unanimous 1 per slot); "
+                "pass inputs=None"
+            )
+        if compact_every < 0:
+            raise ConfigurationError(
+                f"compact_every must be >= 0 (0 disables), got "
+                f"{compact_every}"
+            )
+        linger = (
+            spec.instance_linger
+            if spec.instance_linger is not None
+            else DEFAULT_SMR_LINGER
+        )
+        # The §3.3 exit device is mandatory for malicious SMR: decided
+        # replicas GC a slot's protocol core after the linger, so a
+        # replica a phase behind (chaos reordering plus Byzantine
+        # balancing can arrange this) would wait forever for next-phase
+        # echoes nobody will send.  The exit broadcast is one-shot — a
+        # laggard decides from k+1 decide messages already in flight —
+        # so it stays live across GC.
+        self.spec = replace(
+            spec,
+            inputs=None,
+            instances=1,
+            instance_linger=linger,
+            exit_after_decide=(
+                spec.exit_after_decide or spec.protocol == "malicious"
+            ),
+        )
+        self.compact_every = compact_every
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace_dir = trace_dir
+        self.trace_spans = trace_spans
+        self.trace_sample = trace_sample
+        self.run_id = (
+            uuid.uuid4().hex[:12] if trace_dir is not None else None
+        )
+        self._nodes: List[ClusterNode] = []
+        self._transports: List[Transport] = []
+        self._proxies: List[ChaosProxy] = []
+        self._writers: Dict[Any, Optional[ClusterTraceWriter]] = {}
+        self._client_writer: Optional[ClusterTraceWriter] = None
+        self._client_tracer: Optional[SpanTracer] = None
+        self._replicas: Dict[int, SMRNode] = {}
+        self._next_slot = 0
+        self._commits: Dict[int, asyncio.Future] = {}
+        self._applied_counts: Dict[int, int] = {}
+        self._results: Dict[int, Any] = {}
+        self._submit_ts: Dict[int, float] = {}
+        self.correct_pids: frozenset = frozenset()
+        self.quorum = 0
+        self.problems: List[str] = []
+        self.started_at = 0.0
+        self._started = False
+        self._closed = False
+
+    @property
+    def replicas(self) -> Dict[int, SMRNode]:
+        """Correct replicas by pid (read-only view for tests/tools)."""
+        return dict(self._replicas)
+
+    @property
+    def submitted_slots(self) -> int:
+        """Slots allocated so far (including genesis)."""
+        return self._next_slot
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Wire the mesh, start the nodes, commit the genesis slot."""
+        if self._started:
+            raise ConfigurationError("SMR cluster already started")
+        self._started = True
+        spec = self.spec
+        processes = build_processes(spec)
+        self.correct_pids = frozenset(
+            process.pid for process in processes if process.is_correct
+        )
+        self.quorum = len(self.correct_pids) // 2 + 1
+        if self.trace_dir is not None:
+            os.makedirs(self.trace_dir, exist_ok=True)
+        chaos_active = spec.chaos is not None and spec.chaos.active
+        dial_addrs: dict = {}
+        tracers: Dict[int, Optional[SpanTracer]] = {}
+        for pid in range(spec.n):
+            writer = None
+            tracer = None
+            if self.trace_dir is not None:
+                writer = ClusterTraceWriter(
+                    os.path.join(self.trace_dir, f"node-{pid}.jsonl"),
+                    extra={"node": pid},
+                )
+                if self.trace_spans:
+                    tracer = SpanTracer(writer, pid, self.run_id)
+            self._writers[pid] = writer
+            tracers[pid] = tracer
+            transport_kwargs: dict = {}
+            if spec.batch_bytes is not None:
+                transport_kwargs["batch_bytes"] = spec.batch_bytes
+            if spec.queue_high_water is not None:
+                transport_kwargs["queue_high_water"] = (
+                    spec.queue_high_water
+                )
+            transport = Transport(
+                pid,
+                spec.n,
+                registry=self.registry,
+                trace=writer,
+                seed=spec.seed * 1_000_003 + pid,
+                tracer=tracer,
+                trace_sample=self.trace_sample,
+                **transport_kwargs,
+            )
+            self._transports.append(transport)
+            addr = await transport.serve()
+            if chaos_active:
+                proxy = ChaosProxy(
+                    addr,
+                    replace(
+                        spec.chaos, seed=spec.chaos.seed + 7919 * pid
+                    ),
+                    registry=self.registry,
+                    trace=writer,
+                    label=pid,
+                    tracer=tracer,
+                )
+                self._proxies.append(proxy)
+                dial_addrs[pid] = await proxy.serve()
+            else:
+                dial_addrs[pid] = addr
+        if self.trace_dir is not None:
+            # The commit boundary is a cluster-level (client-side)
+            # observation, so it gets its own shard; "node-client"
+            # matches the stitcher's shard glob.
+            self._client_writer = ClusterTraceWriter(
+                os.path.join(self.trace_dir, "node-client.jsonl"),
+                extra={"node": "client"},
+            )
+            self._writers["client"] = self._client_writer
+            if self.trace_spans:
+                self._client_tracer = SpanTracer(
+                    self._client_writer, spec.n, self.run_id
+                )
+        for pid, transport in enumerate(self._transports):
+            transport.connect(dial_addrs)
+
+            def factory(instance: int, pid: int = pid) -> Process:
+                # Fresh unanimous-1 ensemble per slot; each node keeps
+                # only its own pid's process.
+                return build_processes(spec)[pid]
+
+            self._nodes.append(
+                ClusterNode(
+                    processes[pid],
+                    transport,
+                    registry=self.registry,
+                    trace=self._writers[pid],
+                    process_factory=factory,
+                    instance_linger=spec.instance_linger,
+                    seed=spec.seed * 9_973 + pid,
+                    tracer=tracers[pid],
+                )
+            )
+        for pid in sorted(self.correct_pids):
+            self._replicas[pid] = SMRNode(
+                self._nodes[pid], self, self.compact_every
+            )
+        # Genesis: slot 0 is committed at startup so the log never has
+        # a hole before the first client slot.
+        genesis = Command(session="", request_id=0, op="noop")
+        self.started_at = monotonic()
+        self._register_slot(0)
+        self._next_slot = 1
+        for replica in self._replicas.values():
+            replica.offer(0, genesis)
+            replica.start()
+        for node in self._nodes:
+            await node.start(instances=1)
+
+    async def close(self) -> List[str]:
+        """Stop appliers and nodes; return the run's accumulated
+        problems (oracle verdicts over every decided slot + any replica
+        divergence observed live).  Idempotent."""
+        if self._closed:
+            return list(self.problems)
+        self._closed = True
+        for replica in self._replicas.values():
+            await replica.stop()
+        records = tuple(
+            record
+            for node in self._nodes
+            for _, record in sorted(node.decision_records.items())
+        )
+        # Oracle sweep: every slot any node decided is one independent
+        # consensus execution; agreement/validity must hold per slot.
+        # (Termination over *all* slots is only demanded of a drained
+        # run — an interrupted run legitimately leaves tails undecided,
+        # so the expected set is the decided set.)
+        oracle_problems = check_decision_records_by_instance(
+            records,
+            self.correct_pids,
+            self.spec.effective_inputs,
+        )
+        self.problems.extend(oracle_problems)
+        wall = monotonic() - self.started_at if self.started_at else 0.0
+        timed_out = any(
+            not future.done() for future in self._commits.values()
+        )
+        if self.trace_dir is not None:
+            _write_run_manifest(
+                self.trace_dir,
+                self.run_id,
+                replace(self.spec, instances=max(1, self._next_slot)),
+                records,
+                tuple(self.problems),
+                wall,
+                timed_out,
+            )
+        for node in self._nodes:
+            await node.shutdown()
+        for transport in self._transports[len(self._nodes):]:
+            await transport.close()
+        for proxy in self._proxies:
+            await proxy.close()
+        for writer in self._writers.values():
+            if writer is not None:
+                writer.close()
+        return list(self.problems)
+
+    # ------------------------------------------------------------------ #
+    # Submission and commit tracking
+    # ------------------------------------------------------------------ #
+
+    def _register_slot(self, slot: int) -> asyncio.Future:
+        future = asyncio.get_running_loop().create_future()
+        self._commits[slot] = future
+        self._submit_ts[slot] = monotonic()
+        return future
+
+    def submit(self, command: Command) -> Tuple[int, asyncio.Future]:
+        """Sequence one command: allocate the next slot, disseminate the
+        command to every replica, open the slot's consensus instance on
+        every node.  Non-blocking; the returned future resolves to a
+        :class:`CommitResult` when a majority of correct replicas have
+        applied (or aborted) the slot.
+        """
+        if not self._started or self._closed:
+            raise ConfigurationError(
+                "submit() needs a started, unclosed SMR cluster"
+            )
+        slot = self._next_slot
+        self._next_slot += 1
+        future = self._register_slot(slot)
+        for replica in self._replicas.values():
+            replica.offer(slot, command)
+        for node in self._nodes:
+            node.start_instance(slot)
+        self.registry.inc("cluster.smr.submitted")
+        return slot, future
+
+    async def submit_and_wait(
+        self, command: Command, timeout: Optional[float] = None
+    ) -> CommitResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        _, future = self.submit(command)
+        if timeout is None:
+            return await asyncio.shield(future)
+        return await asyncio.wait_for(asyncio.shield(future), timeout)
+
+    def _on_applied(
+        self, pid: int, slot: int, decision: int, result: Any
+    ) -> None:
+        """One replica finished a slot; resolve the commit at quorum."""
+        count = self._applied_counts.get(slot, 0) + 1
+        self._applied_counts[slot] = count
+        if count == 1:
+            self._results[slot] = result
+        elif result != self._results[slot]:
+            # Determinism violation: replicas disagree on a committed
+            # entry's result even though consensus agreed on the slot.
+            self.problems.append(
+                f"slot {slot}: replica {pid} result {result!r} diverges "
+                f"from {self._results[slot]!r}"
+            )
+        if count == self.quorum:
+            future = self._commits.get(slot)
+            if future is not None and not future.done():
+                now = monotonic()
+                latency = now - self._submit_ts.get(slot, self.started_at)
+                self.registry.inc("cluster.smr.committed")
+                self.registry.observe(
+                    "cluster.smr.commit_latency_ms", latency * 1000.0
+                )
+                if self._client_writer is not None:
+                    fields = {
+                        "slot": slot,
+                        "decision": decision,
+                        "quorum": count,
+                        "latency_ms": round(latency * 1000.0, 3),
+                    }
+                    if self._client_tracer is not None:
+                        physical, logical = self._client_tracer.hlc.tick()
+                        fields["hlc"] = [physical, logical]
+                    self._client_writer.record_fields(
+                        "smr-commit", fields
+                    )
+                future.set_result(
+                    CommitResult(
+                        slot=slot,
+                        committed=decision == 1,
+                        result=self._results[slot],
+                        latency=latency,
+                        committed_at=now,
+                    )
+                )
+
+    # ------------------------------------------------------------------ #
+    # Draining and verification
+    # ------------------------------------------------------------------ #
+
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Wait for every submitted slot to commit *and* for every
+        replica to apply through the last slot (quorum commit means a
+        minority may still lag).  Returns False on timeout, with the
+        shortfall recorded in :attr:`problems`."""
+        deadline = monotonic() + timeout
+        pending = [
+            future
+            for future in self._commits.values()
+            if not future.done()
+        ]
+        if pending:
+            done, not_done = await asyncio.wait(
+                pending, timeout=timeout
+            )
+            if not_done:
+                self.problems.append(
+                    f"drain: {len(not_done)} slots uncommitted after "
+                    f"{timeout:.1f}s"
+                )
+                return False
+        last_slot = self._next_slot - 1
+        while True:
+            lagging = [
+                replica.pid
+                for replica in self._replicas.values()
+                if replica.applied_through < last_slot
+            ]
+            if not lagging:
+                return True
+            if monotonic() >= deadline:
+                self.problems.append(
+                    f"drain: replicas {lagging} had not applied through "
+                    f"slot {last_slot} after {timeout:.1f}s"
+                )
+                return False
+            await asyncio.sleep(0.005)
+
+    def verify_replicas(self) -> List[str]:
+        """Byte-compare every correct replica's state machine.
+
+        Also checks each replica's compaction invariant: snapshot +
+        retained entries must replay to the live state.
+        """
+        problems: List[str] = []
+        blobs = {
+            pid: replica.machine.state_bytes()
+            for pid, replica in sorted(self._replicas.items())
+        }
+        if len(set(blobs.values())) > 1:
+            by_blob: Dict[bytes, List[int]] = {}
+            for pid, blob in blobs.items():
+                by_blob.setdefault(blob, []).append(pid)
+            detail = "; ".join(
+                f"replicas {sorted(pids)} share one state"
+                for pids in by_blob.values()
+            )
+            problems.append(f"replica state divergence: {detail}")
+        for pid, replica in sorted(self._replicas.items()):
+            replayed = replica.replay_from_snapshot()
+            if replayed.state_bytes() != blobs[pid]:
+                problems.append(
+                    f"replica {pid}: snapshot+replay diverges from live "
+                    f"state (compaction invariant broken)"
+                )
+        return problems
+
+
+class SMRClient:
+    """One client session: sequential requests with retry-safe identity.
+
+    A session issues one request at a time; ``request_id`` increments
+    per *request*, never per attempt, so every retry re-submits the
+    identical :class:`Command` and the replicas' session tables
+    deduplicate it.
+    """
+
+    def __init__(self, cluster: SMRCluster, session: str) -> None:
+        if not session:
+            raise ConfigurationError("session id must be non-empty")
+        self.cluster = cluster
+        self.session = session
+        self._next_request = 0
+
+    def next_command(
+        self, op: str, key: str = "", value: Any = None
+    ) -> Command:
+        """Mint the next request's command (fresh ``request_id``)."""
+        self._next_request += 1
+        return Command(
+            session=self.session,
+            request_id=self._next_request,
+            op=op,
+            key=key,
+            value=value,
+        )
+
+    async def call(
+        self,
+        op: str,
+        key: str = "",
+        value: Any = None,
+        timeout: float = 30.0,
+        retries: int = 1,
+    ) -> CommitResult:
+        """Issue one request end-to-end, retrying on timeout or abort.
+
+        Retries re-submit the same command under a fresh slot; dedup
+        guarantees at-most-one execution, the retry restores
+        at-least-once, together: exactly once.
+        """
+        command = self.next_command(op, key=key, value=value)
+        last_error: Optional[BaseException] = None
+        for _ in range(retries + 1):
+            try:
+                commit = await self.cluster.submit_and_wait(
+                    command, timeout=timeout
+                )
+            except asyncio.TimeoutError as exc:
+                last_error = exc
+                continue
+            if commit.committed:
+                return commit
+        if last_error is not None:
+            raise last_error
+        raise ConfigurationError(
+            f"request {command.session}/{command.request_id} aborted "
+            f"{retries + 1} times"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Load generation and benchmarking
+# ---------------------------------------------------------------------- #
+
+#: Weighted op mix for the load generator (op, weight).
+_LOAD_MIX = (("add", 4), ("set", 3), ("get", 2), ("del", 1))
+
+
+def _draw_op(rng: random.Random) -> str:
+    total = sum(weight for _, weight in _LOAD_MIX)
+    point = rng.randrange(total)
+    for op, weight in _LOAD_MIX:
+        if point < weight:
+            return op
+        point -= weight
+    return _LOAD_MIX[-1][0]  # pragma: no cover - arithmetic guard
+
+
+async def run_smr_load(
+    cluster: SMRCluster,
+    clients: int = 4,
+    rate: float = 200.0,
+    ops: int = 200,
+    seed: int = 0,
+    retry_every: int = 0,
+    commit_timeout: float = 30.0,
+) -> dict:
+    """Drive an open-loop Poisson workload and measure commits.
+
+    Arrival times are exponential interarrivals at aggregate ``rate``
+    ops/sec, drawn up front — submission never waits on completions, so
+    an overloaded cluster shows up as inflated latency rather than a
+    silently throttled request stream (no coordinated omission).
+    Latency is measured from the *scheduled* arrival, charging any
+    event-loop lateness to the system under test.
+
+    ``retry_every`` > 0 re-submits every Nth request a second time
+    under a fresh slot — the client-retry path — so dedup is exercised
+    (and measurable: ``dedup_hits``) in the production workload, not
+    only in tests.
+    """
+    if clients < 1:
+        raise ConfigurationError(f"clients must be >= 1, got {clients}")
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be > 0, got {rate}")
+    if ops < 1:
+        raise ConfigurationError(f"ops must be >= 1, got {ops}")
+    rng = random.Random(seed)
+    sessions = [
+        SMRClient(cluster, f"client-{index}") for index in range(clients)
+    ]
+    keys = [f"key-{index}" for index in range(max(4, clients))]
+    arrivals: List[float] = []
+    t = 0.0
+    for _ in range(ops):
+        t += rng.expovariate(rate)
+        arrivals.append(t)
+    outstanding: List[Tuple[float, asyncio.Future]] = []
+    dedup_retries = 0
+    start = monotonic()
+    for index, arrival in enumerate(arrivals):
+        now = monotonic() - start
+        if arrival > now:
+            await asyncio.sleep(arrival - now)
+        client = sessions[index % clients]
+        op = _draw_op(rng)
+        value = rng.randrange(100) if op in ("set", "add") else None
+        command = client.next_command(
+            op, key=rng.choice(keys), value=value
+        )
+        _, future = cluster.submit(command)
+        outstanding.append((arrival, future))
+        if retry_every > 0 and (index + 1) % retry_every == 0:
+            # Client retry: identical command, fresh slot.
+            _, retry_future = cluster.submit(command)
+            outstanding.append((arrival, retry_future))
+            dedup_retries += 1
+    committed = 0
+    aborted = 0
+    uncommitted = 0
+    latencies: List[float] = []
+    last_commit_at = start
+    # One shared budget for the whole tail, not per future — a stalled
+    # run fails in commit_timeout seconds total, and the futures resolve
+    # concurrently anyway.
+    commit_deadline = monotonic() + commit_timeout
+    for arrival, future in outstanding:
+        try:
+            commit = await asyncio.wait_for(
+                asyncio.shield(future),
+                timeout=max(0.001, commit_deadline - monotonic()),
+            )
+        except asyncio.TimeoutError:
+            uncommitted += 1
+            continue
+        if commit.committed:
+            committed += 1
+        else:
+            aborted += 1
+        latencies.append(commit.committed_at - (start + arrival))
+        if commit.committed_at > last_commit_at:
+            last_commit_at = commit.committed_at
+    drained = await cluster.drain(timeout=commit_timeout)
+    problems = list(cluster.verify_replicas())
+    if not drained:
+        problems.append("load: drain timed out")
+    if uncommitted:
+        problems.append(
+            f"load: {uncommitted} submissions uncommitted after "
+            f"{commit_timeout:.1f}s"
+        )
+    dedup_hits = {
+        pid: replica.machine.dedup_hits
+        for pid, replica in sorted(cluster.replicas.items())
+    }
+    if len(set(dedup_hits.values())) > 1:
+        problems.append(
+            f"load: replicas disagree on dedup hits: {dedup_hits}"
+        )
+    latencies.sort()
+    wall = max(last_commit_at - start, 1e-9)
+    return {
+        "clients": clients,
+        "rate": rate,
+        "ops": ops,
+        "submitted_slots": cluster.submitted_slots,
+        "committed": committed,
+        "aborted": aborted,
+        "uncommitted": uncommitted,
+        "dedup_retries": dedup_retries,
+        "dedup_hits": min(dedup_hits.values()) if dedup_hits else 0,
+        "snapshots": sum(
+            replica.snapshots_taken
+            for replica in cluster.replicas.values()
+        ),
+        "compacted_entries": sum(
+            replica.compacted_entries
+            for replica in cluster.replicas.values()
+        ),
+        "wall_seconds": wall,
+        "throughput_ops_per_sec": committed / wall,
+        "commit_latency_ms": {
+            "p50": percentile(latencies, 0.50) * 1000.0,
+            "p99": percentile(latencies, 0.99) * 1000.0,
+            "mean": (
+                sum(latencies) / len(latencies) * 1000.0
+                if latencies
+                else 0.0
+            ),
+            "max": latencies[-1] * 1000.0 if latencies else 0.0,
+        },
+        "problems": problems,
+        "ok": not problems,
+    }
+
+
+async def run_smr(
+    spec: ClusterSpec,
+    clients: int = 4,
+    rate: float = 200.0,
+    ops: int = 200,
+    seed: int = 0,
+    retry_every: int = 0,
+    compact_every: int = DEFAULT_COMPACT_EVERY,
+    commit_timeout: float = 30.0,
+    registry: Optional[MetricsRegistry] = None,
+    trace_dir: Optional[str] = None,
+    trace_spans: bool = True,
+    trace_sample: int = DEFAULT_TRACE_SAMPLE,
+) -> dict:
+    """One full SMR run: build the cluster, load it, verify, tear down.
+
+    The returned payload is :func:`run_smr_load`'s, with the close-time
+    oracle problems folded in and the spec's shape stamped on top.
+    """
+    cluster = SMRCluster(
+        spec,
+        compact_every=compact_every,
+        registry=registry,
+        trace_dir=trace_dir,
+        trace_spans=trace_spans,
+        trace_sample=trace_sample,
+    )
+    await cluster.start()
+    try:
+        result = await run_smr_load(
+            cluster,
+            clients=clients,
+            rate=rate,
+            ops=ops,
+            seed=seed,
+            retry_every=retry_every,
+            commit_timeout=commit_timeout,
+        )
+    finally:
+        close_problems = await cluster.close()
+    for problem in close_problems:
+        if problem not in result["problems"]:
+            result["problems"].append(problem)
+    result["ok"] = not result["problems"]
+    result.update(
+        {
+            "n": spec.n,
+            "k": spec.k,
+            "protocol": spec.protocol,
+            "byzantine": spec.byzantine_count,
+            "chaos": bool(spec.chaos is not None and spec.chaos.active),
+            "seed": seed,
+        }
+    )
+    return result
+
+
+#: Chaos regime the bench applies when none is supplied: mild delay plus
+#: a little loss — enough to stress retransmission and commit tails
+#: without making small CI runs flaky.
+DEFAULT_BENCH_CHAOS = ChaosConfig(
+    delay_min=0.0005, delay_max=0.004, drop_rate=0.02, seed=0
+)
+
+
+async def run_smr_bench(
+    specs: Sequence[ClusterSpec],
+    clients: int = 4,
+    rate: float = 200.0,
+    ops: int = 200,
+    seed: int = 0,
+    retry_every: int = 10,
+    compact_every: int = DEFAULT_COMPACT_EVERY,
+    commit_timeout: float = 30.0,
+    chaos: Optional[ChaosConfig] = None,
+) -> dict:
+    """Sweep specs under clean and chaos regimes; return the ``smr``
+    section for BENCH_cluster.json (throughput + p50/p99 commit latency
+    per cluster size per regime)."""
+    if chaos is None:
+        chaos = DEFAULT_BENCH_CHAOS
+    series: List[dict] = []
+    all_ok = True
+    for spec in specs:
+        for regime_chaos in (None, chaos):
+            regime_spec = replace(spec, chaos=regime_chaos)
+            result = await run_smr(
+                regime_spec,
+                clients=clients,
+                rate=rate,
+                ops=ops,
+                seed=seed,
+                retry_every=retry_every,
+                compact_every=compact_every,
+                commit_timeout=commit_timeout,
+            )
+            all_ok = all_ok and result["ok"]
+            series.append(result)
+    return {
+        "benchmark": "cluster-smr",
+        "wire_encoding": WIRE_ENCODING,
+        "ok": all_ok,
+        "series": series,
+    }

@@ -120,6 +120,11 @@ class _PeerLink:
         self.pending: asyncio.Queue = asyncio.Queue()
         self.unacked: deque[tuple[int, bytes]] = deque()
         self.next_seq = 0
+        #: True while a live connection is draining this link.  Cleared
+        #: for the whole reconnect window (backoff + redial), during
+        #: which the unacked go-back-n window belongs to the *resume
+        #: path* — see :meth:`send`'s backpressure accounting.
+        self.connected = False
         #: Span-sampling countdown: frames until the next causal stamp
         #: (0 = stamp the next frame, so a link's first frame always
         #: carries the trace extension).
@@ -138,10 +143,25 @@ class _PeerLink:
         high_water = transport.queue_high_water
         if high_water is not None and self.backlog >= high_water:
             transport._note_high_water(self.peer, self.backlog)
-            if transport.backpressure:
+            # Backpressure judges only the frames the producer can
+            # influence: the queued-but-unsent ones, plus — while the
+            # connection is live — the in-flight window acks are
+            # actively draining.  During a reconnect window the unacked
+            # frames are the *resume path's* responsibility (they are
+            # retransmitted wholesale when the link comes back), and
+            # counting them here wedged the sender: a high-water mark
+            # crossed exactly at reconnect made every send raise until
+            # reconnect, and each raise dropped a frame the go-back-n
+            # layer had no copy of — an unrecoverable hole for the
+            # receiver even after the link resumed.
+            producer_backlog = self.pending.qsize() + (
+                len(self.unacked) if self.connected else 0
+            )
+            if transport.backpressure and producer_backlog >= high_water:
                 raise TransportOverloadedError(
                     f"link {transport.pid}->{self.peer} backlog "
-                    f"{self.backlog} at its high-water mark ({high_water})"
+                    f"{producer_backlog} at its high-water mark "
+                    f"({high_water})"
                 )
         self.pending.put_nowait((instance, envelope))
 
@@ -211,6 +231,7 @@ class _PeerLink:
     async def _speak(self, reader, writer) -> None:
         """Drive one live connection until it breaks or the link closes."""
         transport = self.transport
+        self.connected = True
         writer.write(
             encode_frame(
                 HelloFrame(pid=transport.pid, n=transport.n)
@@ -342,6 +363,7 @@ class _PeerLink:
                 if ack_task.done():
                     break
         finally:
+            self.connected = False
             ack_task.cancel()
             try:
                 await ack_task

@@ -769,6 +769,200 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_smr(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as json_module
+    import os
+    from dataclasses import replace
+
+    from repro.cluster.chaos import ChaosConfig
+    from repro.cluster.driver import ClusterSpec, write_bench_report
+    from repro.cluster.smr import run_smr, run_smr_bench
+    from repro.errors import ConfigurationError
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.report import render_metrics_summary
+
+    for name, value, floor in (
+        ("--clients", args.clients, 1),
+        ("--ops", args.ops, 1),
+        ("--retry-every", args.retry_every, 0),
+        ("--compact-every", args.compact_every, 0),
+    ):
+        if value < floor:
+            print(f"{name} must be >= {floor}, got {value}")
+            return 2
+    if args.rate <= 0:
+        print(f"--rate must be > 0, got {args.rate}")
+        return 2
+    if args.commit_timeout <= 0:
+        print(f"--commit-timeout must be > 0, got {args.commit_timeout}")
+        return 2
+    chaos = None
+    chaos_requested = (
+        args.chaos_delay_max > 0
+        or args.chaos_drop > 0
+        or args.chaos_reset_every is not None
+    )
+    try:
+        if chaos_requested:
+            chaos = ChaosConfig(
+                delay_min=args.chaos_delay_min,
+                delay_max=max(args.chaos_delay_max, args.chaos_delay_min),
+                drop_rate=args.chaos_drop,
+                reset_every=args.chaos_reset_every,
+                seed=args.seed,
+            )
+        spec = ClusterSpec(
+            n=args.n,
+            k=args.k,
+            protocol=args.protocol,
+            byzantine_count=args.byzantine,
+            byzantine_kind=args.byzantine_kind,
+            chaos=chaos,
+            seed=args.seed,
+        )
+    except ConfigurationError as exc:
+        print(f"bad smr configuration: {exc}")
+        return 2
+
+    if args.bench:
+        specs = []
+        try:
+            for pair in args.bench_ns.split(","):
+                n_text, sep, k_text = pair.strip().partition(":")
+                n_value = int(n_text)
+                k_value = int(k_text) if sep else spec.k
+                specs.append(
+                    replace(
+                        spec,
+                        n=n_value,
+                        k=k_value,
+                        chaos=None,  # run_smr_bench supplies the regimes
+                        byzantine_count=min(args.byzantine, k_value),
+                    )
+                )
+        except (ValueError, ConfigurationError) as exc:
+            print(f"bad --bench-ns entry: {exc}")
+            return 2
+        try:
+            smr_payload = asyncio.run(
+                run_smr_bench(
+                    specs,
+                    clients=args.clients,
+                    rate=args.rate,
+                    ops=args.ops,
+                    seed=args.seed,
+                    retry_every=args.retry_every,
+                    compact_every=args.compact_every,
+                    commit_timeout=args.commit_timeout,
+                    chaos=chaos,
+                )
+            )
+        except ConfigurationError as exc:
+            print(f"bad smr configuration: {exc}")
+            return 2
+        # The smr sweep is one *section* of BENCH_cluster.json: fold it
+        # into an existing payload rather than clobbering the cluster
+        # bench's own series.
+        payload: dict = {"benchmark": "cluster", "ok": True, "series": []}
+        if os.path.exists(args.out):
+            try:
+                with open(args.out, "r", encoding="utf-8") as handle:
+                    payload = json_module.load(handle)
+            except (OSError, ValueError) as exc:
+                print(f"ignoring unreadable {args.out}: {exc}")
+        payload["smr"] = smr_payload
+        payload["ok"] = bool(payload.get("ok", True)) and smr_payload["ok"]
+        write_bench_report(payload, args.out)
+        for row in smr_payload["series"]:
+            latency = row["commit_latency_ms"]
+            print(
+                f"n={row['n']:2d} k={row['k']} byz={row['byzantine']} "
+                f"chaos={'on' if row['chaos'] else 'off'}: "
+                f"{row['committed']} committed, "
+                f"{row['throughput_ops_per_sec']:.1f} ops/s, "
+                f"commit p50 {latency['p50']:.1f} ms, "
+                f"p99 {latency['p99']:.1f} ms, "
+                f"dedup {row['dedup_hits']}/{row['dedup_retries']}"
+            )
+            for problem in row["problems"]:
+                print(f"  PROBLEM: {problem}")
+        print(f"wrote {args.out}")
+        return 0 if smr_payload["ok"] else 1
+
+    registry = MetricsRegistry()
+    try:
+        result = asyncio.run(
+            run_smr(
+                spec,
+                clients=args.clients,
+                rate=args.rate,
+                ops=args.ops,
+                seed=args.seed,
+                retry_every=args.retry_every,
+                compact_every=args.compact_every,
+                commit_timeout=args.commit_timeout,
+                registry=registry,
+                trace_dir=args.trace_out,
+                trace_sample=max(1, args.trace_sample),
+            )
+        )
+    except ConfigurationError as exc:
+        print(f"bad smr configuration: {exc}")
+        return 2
+    byz_note = (
+        f", {spec.byzantine_count} Byzantine ({spec.byzantine_kind})"
+        if spec.byzantine_count
+        else ""
+    )
+    chaos_note = " under chaos" if chaos is not None else ""
+    latency = result["commit_latency_ms"]
+    print(
+        f"smr n={spec.n} k={spec.k} {spec.protocol}{byz_note}{chaos_note}: "
+        f"{result['committed']}/{result['submitted_slots'] - 1} committed "
+        f"({result['aborted']} aborted, {result['uncommitted']} "
+        f"uncommitted) in {result['wall_seconds']:.3f}s"
+    )
+    print(
+        f"  throughput {result['throughput_ops_per_sec']:.1f} ops/s, "
+        f"commit p50 {latency['p50']:.1f} ms, p99 {latency['p99']:.1f} ms"
+    )
+    print(
+        f"  dedup: {result['dedup_hits']} hits / "
+        f"{result['dedup_retries']} retried requests; "
+        f"{result['snapshots']} snapshots, "
+        f"{result['compacted_entries']} log entries compacted"
+    )
+    for problem in result["problems"]:
+        print(f"  PROBLEM: {problem}")
+    if result["ok"]:
+        print(
+            "  replicas byte-identical; agreement/validity PASS on "
+            "every slot"
+        )
+    slo_failed = False
+    if args.slo_commit_p99_ms is not None:
+        if latency["p99"] > args.slo_commit_p99_ms:
+            print(
+                f"  SLO FAIL: commit p99 {latency['p99']:.1f} ms exceeds "
+                f"{args.slo_commit_p99_ms:.1f} ms"
+            )
+            slo_failed = True
+        else:
+            print(
+                f"  SLO: commit p99 {latency['p99']:.1f} ms within "
+                f"{args.slo_commit_p99_ms:.1f} ms"
+            )
+    if args.metrics:
+        print()
+        print(
+            render_metrics_summary(registry.snapshot(), title="smr metrics")
+        )
+    if args.trace_out is not None:
+        print(f"traces in {args.trace_out}/")
+    return 0 if result["ok"] and not slo_failed else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     import json as json_module
 
@@ -812,6 +1006,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         for failure in failures:
             print(f"SLO FAIL: {failure}")
         if failures:
+            # Empty input is a usage/pipeline error, not a judged SLO
+            # miss: report it with the same distinct exit code as an
+            # unreadable trace directory so callers can tell "the run
+            # is bad" (1) apart from "there was nothing to check" (2).
+            if not analysis.get("events"):
+                print("empty trace input: no events were stitched")
+                return 2
             return 1
         print("SLO gates: all passed")
     return 0
@@ -1155,6 +1356,134 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "'observability' section (default: on)",
     )
     cluster_parser.set_defaults(func=_cmd_cluster)
+    smr_parser = subparsers.add_parser(
+        "smr",
+        help="replicated KV service over the cluster: every log slot is "
+        "one consensus instance; open-loop Poisson client load with "
+        "exactly-once sessions, snapshots, and commit-latency SLOs",
+    )
+    smr_parser.add_argument(
+        "--n", type=int, default=4, metavar="N",
+        help="cluster size (default: 4)",
+    )
+    smr_parser.add_argument(
+        "--k", type=int, default=1, metavar="K",
+        help="resilience parameter (default: 1)",
+    )
+    smr_parser.add_argument(
+        "--protocol",
+        choices=("failstop", "malicious"),
+        default="malicious",
+        help="which figure protocol sequences the log (default: "
+        "malicious; the §3.3 exit device is enabled automatically)",
+    )
+    smr_parser.add_argument(
+        "--byzantine", type=int, default=0, metavar="B",
+        help="number of live Byzantine nodes, highest pids; they join "
+        "consensus but host no state machine and do not count toward "
+        "the commit quorum (default: 0)",
+    )
+    smr_parser.add_argument(
+        "--byzantine-kind",
+        choices=("balancing", "equivocating", "anti-majority", "silent"),
+        default="balancing",
+        help="Byzantine behaviour (default: balancing)",
+    )
+    smr_parser.add_argument(
+        "--clients", type=int, default=4, metavar="N",
+        help="concurrent client sessions (default: 4)",
+    )
+    smr_parser.add_argument(
+        "--rate", type=float, default=200.0, metavar="OPS_PER_SEC",
+        help="aggregate open-loop Poisson arrival rate (default: 200)",
+    )
+    smr_parser.add_argument(
+        "--ops", type=int, default=200, metavar="N",
+        help="total client requests to issue (default: 200)",
+    )
+    smr_parser.add_argument(
+        "--retry-every", type=int, default=10, metavar="N",
+        help="re-submit every Nth request under a fresh slot to "
+        "exercise exactly-once dedup; 0 disables (default: 10)",
+    )
+    smr_parser.add_argument(
+        "--compact-every", type=int, default=64, metavar="SLOTS",
+        help="snapshot + log-compaction cadence in slots; 0 disables "
+        "(default: 64)",
+    )
+    smr_parser.add_argument(
+        "--commit-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="budget for the uncommitted tail after the last submit "
+        "(default: 30)",
+    )
+    smr_parser.add_argument(
+        "--chaos-delay-min", type=float, default=0.0, metavar="SECONDS",
+        help="minimum chaos-proxy delay per data frame (default: 0)",
+    )
+    smr_parser.add_argument(
+        "--chaos-delay-max", type=float, default=0.0, metavar="SECONDS",
+        help="maximum chaos-proxy delay per data frame; > 0 enables "
+        "the proxies (default: 0)",
+    )
+    smr_parser.add_argument(
+        "--chaos-drop", type=float, default=0.0, metavar="RATE",
+        help="chaos-proxy drop probability per data frame (default: 0)",
+    )
+    smr_parser.add_argument(
+        "--chaos-reset-every", type=int, default=None, metavar="FRAMES",
+        help="kill connections after this many forwarded data frames "
+        "(default: never)",
+    )
+    smr_parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="base seed for load, transport jitter, and chaos "
+        "(default: 0)",
+    )
+    smr_parser.add_argument(
+        "--slo-commit-p99-ms", type=float, default=None, metavar="MS",
+        help="gate: commit p99 must not exceed this; exit non-zero "
+        "otherwise",
+    )
+    smr_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the merged smr/transport/decision metrics",
+    )
+    smr_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="write one JSONL trace per node (plus the client commit "
+        "shard) into DIR; feed it to 'report --check'",
+    )
+    smr_parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=DEFAULT_TRACE_SAMPLE,
+        metavar="N",
+        help="with --trace-out: stamp-and-span one wire frame in N per "
+        f"link (default: {DEFAULT_TRACE_SAMPLE})",
+    )
+    smr_parser.add_argument(
+        "--bench",
+        action="store_true",
+        help="sweep --bench-ns under clean and chaos regimes and fold "
+        "the result into BENCH_cluster.json as its 'smr' section",
+    )
+    smr_parser.add_argument(
+        "--bench-ns",
+        default="4:1,7:2",
+        metavar="N:K,...",
+        help="bench sweep as comma-separated n:k pairs (default: 4:1,7:2)",
+    )
+    smr_parser.add_argument(
+        "--out",
+        default="BENCH_cluster.json",
+        metavar="PATH",
+        help="bench report path; an existing file is updated in place "
+        "(default: ./BENCH_cluster.json)",
+    )
+    smr_parser.set_defaults(func=_cmd_smr)
     report_parser = subparsers.add_parser(
         "report",
         help="stitch a cluster run's per-node trace shards into one "

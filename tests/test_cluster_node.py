@@ -355,6 +355,109 @@ class TestMultiInstanceNode:
         assert snapshot.counters.get("cluster.node.late_frames", 0) >= 1
         assert snapshot.counters.get("cluster.node.instances_gc", 0) == 1
 
+    def test_decide_many_timeout_releases_demux_state(self):
+        """Regression: a timed-out decide_many must not leak instances.
+
+        The linger GC only arms for *decided* instances, so before the
+        abandonment path a caller timing out mid-batch left every
+        undecided instance's protocol core in the demux table forever.
+        The node here has only a dead peer, so nothing can ever decide:
+        after the timeout the instance table must return to baseline,
+        and the retired instances must stay retired (late frames are
+        dropped, not resurrected).
+        """
+
+        async def scenario():
+            registry = MetricsRegistry()
+            transport = Transport(0, 2, seed=0, registry=registry)
+            await transport.serve()
+            transport.connect({1: ("127.0.0.1", 1)})  # dead peer
+            node = ClusterNode(
+                FailStopConsensus(0, 2, 0, 1),
+                transport,
+                registry=registry,
+                process_factory=lambda inst: FailStopConsensus(0, 2, 0, 1),
+                seed=0,
+            )
+            try:
+                await node.start(instances=1)
+                baseline = node.active_instances
+                with pytest.raises(asyncio.TimeoutError):
+                    await node.decide_many([0, 1, 2], timeout=0.2)
+                after_batch = node.active_instances
+                with pytest.raises(asyncio.TimeoutError):
+                    await node.decide_instance(7, timeout=0.2)
+                after_single = node.active_instances
+                # Late traffic for an abandoned instance must be dropped.
+                from repro.cluster.transport import NO_ENQUEUE_TS
+                from repro.core.messages import SimpleMessage
+                from repro.net.message import Envelope
+
+                transport.inbound.put_nowait(
+                    (
+                        1,
+                        Envelope(
+                            sender=1,
+                            recipient=0,
+                            payload=SimpleMessage(phaseno=1, value=1),
+                        ),
+                        NO_ENQUEUE_TS,
+                    )
+                )
+                await asyncio.sleep(0.05)
+                resurrected = node.active_instances
+                # And the retired id can never be reopened as a fresh core.
+                with pytest.raises(ConfigurationError, match="abandoned"):
+                    await node.decide_instance(1, timeout=0.2)
+                return (
+                    baseline,
+                    after_batch,
+                    after_single,
+                    resurrected,
+                    registry.snapshot(),
+                )
+            finally:
+                await node.shutdown()
+
+        baseline, after_batch, after_single, resurrected, snapshot = (
+            asyncio.run(scenario())
+        )
+        assert baseline == 1
+        assert after_batch == 0  # the whole batch was released
+        assert after_single == 0
+        assert resurrected == 0
+        abandoned = snapshot.counters.get(
+            "cluster.node.instances_abandoned", 0
+        )
+        assert abandoned == 4  # instances 0-2 plus instance 7
+        assert snapshot.counters.get("cluster.node.late_frames", 0) >= 1
+
+    def test_concurrent_waiter_keeps_instance_alive_through_timeout(self):
+        """One caller timing out must not yank state from another that is
+        still waiting on the same instance."""
+
+        async def scenario():
+            registry = MetricsRegistry()
+            a, b = await _mesh_pair(registry)()
+            try:
+                await a.start(instances=1)
+                patient = asyncio.ensure_future(a.decide_instance(1))
+                await asyncio.sleep(0)  # let the waiter register
+                with pytest.raises(asyncio.TimeoutError):
+                    await a.decide_instance(1, timeout=0.05)
+                still_live = a.instance_process(1) is not None
+                # Peer comes up late; the patient waiter must still win.
+                await b.start(instances=1)
+                record = await asyncio.wait_for(patient, timeout=20)
+                return still_live, record
+            finally:
+                await a.shutdown()
+                await b.shutdown()
+
+        still_live, record = asyncio.run(scenario())
+        assert still_live
+        assert record.value == 1 and record.instance == 1
+
     def test_instances_without_factory_rejected(self):
         async def scenario():
             transport = Transport(0, 2, seed=0)

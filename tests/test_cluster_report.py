@@ -272,6 +272,32 @@ class TestTracedChaosRun:
 
         assert main(["report", str(tmp_path / "nope")]) == 2
 
+    def test_check_fails_distinctly_on_empty_shards(
+        self, tmp_path, capsys
+    ):
+        """Regression: ``report --check`` over shards that stitched to
+        zero events must fail with the distinct empty-input code (2),
+        not the judged-SLO-miss code (1) and certainly not 0."""
+        from repro.harness.cli import main
+
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        (trace_dir / "node-0.jsonl").write_text("")
+        (trace_dir / "node-1.jsonl").write_text("")
+        assert main(["report", str(trace_dir), "--check"]) == 2
+        out = capsys.readouterr().out
+        assert "empty trace input" in out
+        assert "SLO FAIL: input: empty trace" in out
+        # The library-level gate reports the same failure.
+        analysis = analyze_run(stitch_trace_dir(str(trace_dir)))
+        assert any(
+            failure.startswith("input: empty trace")
+            for failure in check_slos(analysis)
+        )
+        # Ungated rendering of an empty stitch still succeeds.
+        capsys.readouterr()
+        assert main(["report", str(trace_dir)]) == 0
+
 
 @pytest.mark.cluster
 class TestTruncatedShards:

@@ -444,6 +444,154 @@ class TestQueueHighWater:
         accepted = asyncio.run(scenario())
         assert accepted == 3
 
+    def test_backpressure_does_not_wedge_sender_across_reconnect(self):
+        """Regression: the mark crossed exactly at reconnect must not wedge.
+
+        A mute peer accepts (drops) frames without ever acking, then
+        resets the connection with the go-back-n window sitting exactly
+        at the high-water mark.  During the reconnect window the backlog
+        is all *unacked* frames — in-flight work only the resume path's
+        retransmission can drain — so a send must be accepted, not
+        refused: pre-fix it raised TransportOverloadedError, and the
+        refused frame was lost for good (the transport had no copy to
+        retransmit), wedging the receiver even after the link resumed.
+        """
+        from repro.cluster.codec import FrameReader
+        from repro.errors import TransportOverloadedError
+
+        HIGH_WATER = 4
+
+        async def scenario():
+            registry = MetricsRegistry()
+            # Reserve a port for the peer so the mute impostor and the
+            # real receiver can serve the same address in turn.
+            probe = await asyncio.start_server(
+                lambda r, w: None, host="127.0.0.1", port=0
+            )
+            host, port = probe.sockets[0].getsockname()[:2]
+            probe.close()
+            await probe.wait_closed()
+
+            seen = asyncio.Event()
+
+            async def mute_peer(reader, writer):
+                # Read (and drop) hello + HIGH_WATER data frames, ack
+                # nothing, then reset the connection.
+                frames = FrameReader()
+                count = 0
+                while count < 1 + HIGH_WATER:
+                    chunk = await reader.read(65536)
+                    if not chunk:
+                        break
+                    frames.feed(chunk)
+                    count += sum(1 for _ in frames.frames())
+                seen.set()
+                writer.close()
+
+            mute = await asyncio.start_server(
+                mute_peer, host=host, port=port
+            )
+            sender = Transport(
+                0,
+                2,
+                registry=registry,
+                seed=0,
+                queue_high_water=HIGH_WATER,
+                backpressure=True,
+                batch_bytes=0,
+                retransmit_interval=0.05,
+                backoff_base=0.2,
+                backoff_cap=0.5,
+            )
+            await sender.serve()
+            sender.connect({1: (host, port)})
+            receiver = Transport(1, 2, seed=1)
+            try:
+                for tag in range(HIGH_WATER):
+                    sender.send(envelope(0, 1, tag))
+                await asyncio.wait_for(seen.wait(), timeout=10)
+                # Tear the mute peer down entirely so redials fail and
+                # the link sits in its reconnect window.
+                mute.close()
+                await mute.wait_closed()
+                link = sender._links[1]
+                for _ in range(200):
+                    if not link.connected:
+                        break
+                    await asyncio.sleep(0.02)
+                assert not link.connected
+                assert len(link.unacked) >= HIGH_WATER
+                # The queue is across the mark mid-reconnect: sends must
+                # be accepted (the regression raised here).
+                wedged = False
+                try:
+                    sender.send(envelope(0, 1, HIGH_WATER))
+                    sender.send(envelope(0, 1, HIGH_WATER + 1))
+                except TransportOverloadedError:
+                    wedged = True
+                # The real peer appears on the reserved address; the
+                # resume path must deliver everything exactly once.
+                await receiver.serve(host=host, port=port)
+                received = []
+                if not wedged:
+                    received = await drain(
+                        receiver, HIGH_WATER + 2, timeout=30
+                    )
+                return wedged, received, registry.snapshot()
+            finally:
+                await sender.close()
+                await receiver.close()
+
+        wedged, received, snapshot = asyncio.run(scenario())
+        assert not wedged, (
+            "send during the reconnect window raised "
+            "TransportOverloadedError: the high-water mark wedged the "
+            "sender on in-flight frames it cannot influence"
+        )
+        assert [env.payload.phaseno for env in envelopes(received)] == list(
+            range(HIGH_WATER + 2)
+        )
+        # The excursion itself is still observable.
+        assert snapshot.counters.get(
+            "cluster.transport.high_water_hits", 0
+        ) >= 1
+
+    def test_backpressure_still_raises_while_connected_at_the_mark(self):
+        """A live, draining link at the mark keeps refusing producers:
+        the reconnect carve-out must not disable backpressure outright."""
+        from repro.errors import TransportOverloadedError
+
+        async def scenario():
+            receiver = Transport(1, 2, seed=1)
+            addr = await receiver.serve()
+            sender = Transport(
+                0, 2, seed=0, queue_high_water=2, backpressure=True
+            )
+            await sender.serve()
+            sender.connect({1: addr})
+            try:
+                # Wait for the live connection.
+                link = sender._links[1]
+                for _ in range(200):
+                    if link.connected:
+                        break
+                    await asyncio.sleep(0.02)
+                assert link.connected
+                raised = False
+                try:
+                    # The speak loop drains as we enqueue, so pump until
+                    # the producer-facing backlog trips the mark.
+                    for tag in range(200):
+                        sender.send(envelope(0, 1, tag))
+                except TransportOverloadedError:
+                    raised = True
+                return raised
+            finally:
+                await sender.close()
+                await receiver.close()
+
+        assert asyncio.run(scenario())
+
     def test_high_water_validation(self):
         with pytest.raises(ConfigurationError):
             Transport(0, 2, queue_high_water=0)
